@@ -1,0 +1,208 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation section (Figures 4-8, the multi-rate extension, and the
+   design-choice ablations), then runs Bechamel micro-benchmarks of the
+   hot kernels.
+
+     dune exec bench/main.exe                 # full fidelity (~minutes)
+     dune exec bench/main.exe -- --scale 0.2  # quick pass
+     dune exec bench/main.exe -- --only fig4b,fig6
+     dune exec bench/main.exe -- --no-micro *)
+
+let fmt = Format.std_formatter
+
+let scale = ref 1.0
+let seed = ref 42_000
+let only = ref "all"
+let csv_dir = ref ""
+let run_micro = ref true
+
+let args =
+  [
+    ("--scale", Arg.Set_float scale, "FACTOR workload scale (default 1.0)");
+    ("--seed", Arg.Set_int seed, "SEED root seed (default 42000)");
+    ( "--only",
+      Arg.Set_string only,
+      "LIST comma-separated figure ids (fig4a,fig4b,fig5a,fig5b,fig6,fig8a,\
+       fig8b,multirate,ablations); default all" );
+    ("--csv", Arg.Set_string csv_dir, "DIR write CSV copies of the tables");
+    ("--no-micro", Arg.Clear run_micro, " skip Bechamel micro-benchmarks");
+  ]
+
+let wanted id =
+  !only = "all" || List.mem id (String.split_on_char ',' !only)
+
+let timed id f =
+  if wanted id then begin
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Format.fprintf fmt "[%s done in %.1f s]@." id (Unix.gettimeofday () -. t0)
+  end
+
+let csv () = if !csv_dir = "" then None else Some !csv_dir
+
+let run_figures () =
+  let scale = !scale and s = !seed in
+  Scenarios.Calibration.print_setup fmt;
+  timed "fig4a" (fun () ->
+      ignore (Scenarios.Fig4a.run ~scale ~seed:(s + 1) ?csv_dir:(csv ()) fmt));
+  timed "fig4b" (fun () ->
+      ignore (Scenarios.Fig4b.run ~scale ~seed:(s + 2) ?csv_dir:(csv ()) fmt));
+  timed "fig5a" (fun () ->
+      ignore (Scenarios.Fig5a.run ~scale ~seed:(s + 3) ?csv_dir:(csv ()) fmt));
+  timed "fig5b" (fun () ->
+      ignore (Scenarios.Fig5b.run ~seed:(s + 4) ?csv_dir:(csv ()) fmt));
+  timed "fig6" (fun () ->
+      ignore (Scenarios.Fig6.run ~scale ~seed:(s + 5) ?csv_dir:(csv ()) fmt));
+  timed "fig8a" (fun () ->
+      ignore
+        (Scenarios.Fig8.run ~scale ~seed:(s + 6) ~kind:Scenarios.Fig8.Campus
+           ?csv_dir:(csv ()) fmt));
+  timed "fig8b" (fun () ->
+      ignore
+        (Scenarios.Fig8.run ~scale ~seed:(s + 7) ~kind:Scenarios.Fig8.Wan
+           ?csv_dir:(csv ()) fmt));
+  timed "multirate" (fun () ->
+      ignore (Scenarios.Multirate.run ~scale ~seed:(s + 8) ?csv_dir:(csv ()) fmt));
+  timed "ablations" (fun () ->
+      ignore (Scenarios.Ablations.run_jitter_models ~scale ~seed:(s + 9) fmt);
+      ignore (Scenarios.Ablations.run_vit_laws ~scale ~seed:(s + 10) fmt);
+      ignore (Scenarios.Ablations.run_entropy_bins ~scale ~seed:(s + 11) fmt);
+      ignore (Scenarios.Ablations.run_tap_positions ~scale ~seed:(s + 12) fmt);
+      ignore (Scenarios.Ablations.run_oracle_vs_kde ~scale ~seed:(s + 13) fmt);
+      ignore (Scenarios.Ablations.run_adaptive_vs_cit ~scale ~seed:(s + 14) fmt);
+      ignore (Scenarios.Ablations_ext.run_classifier_backends ~scale ~seed:(s + 15) fmt);
+      ignore (Scenarios.Ablations_ext.run_mix_vs_padding ~scale ~seed:(s + 16) fmt);
+      ignore (Scenarios.Ablations_ext.run_size_padding ~seed:(s + 18) fmt);
+      ignore (Scenarios.Ablations_ext.run_roc ~scale ~seed:(s + 19) fmt);
+      Scenarios.Ablations_ext.run_bounds_table fmt;
+      ignore (Scenarios.Ablations_ext.run_qos_table ~seed:(s + 17) fmt))
+
+(* --- Bechamel micro-benchmarks of the hot kernels --- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let rng = Prng.Rng.create ~seed:1 in
+  let sample_1k =
+    Array.init 1000 (fun _ -> Prng.Sampler.normal rng ~mu:0.01 ~sigma:3e-6)
+  in
+  let kde_points =
+    Array.init 200 (fun _ -> Prng.Sampler.normal rng ~mu:0.0 ~sigma:1.0)
+  in
+  let kde = Stats.Kde.fit kde_points in
+  let clf =
+    Adversary.Classifier.train
+      ~classes:
+        [|
+          ("lo", Array.init 100 (fun _ -> Prng.Sampler.normal rng ~mu:0.0 ~sigma:1.0));
+          ("hi", Array.init 100 (fun _ -> Prng.Sampler.normal rng ~mu:2.0 ~sigma:1.0));
+        |]
+      ()
+  in
+  let entropy_kind =
+    Adversary.Feature.Sample_entropy
+      { bin_width = Adversary.Feature.default_entropy_bin_width }
+  in
+  [
+    Test.make ~name:"event_queue.push_pop_1k"
+      (Staged.stage (fun () ->
+           let q = Desim.Event_queue.create () in
+           for i = 0 to 999 do
+             Desim.Event_queue.push q ~time:(float_of_int ((i * 7919) mod 1000)) ()
+           done;
+           while not (Desim.Event_queue.is_empty q) do
+             ignore (Desim.Event_queue.pop q)
+           done));
+    Test.make ~name:"gateway.simulate_1s_padded"
+      (Staged.stage (fun () ->
+           let sim = Desim.Sim.create () in
+           let rng = Prng.Rng.create ~seed:2 in
+           let gw =
+             Padding.Gateway.create sim ~rng:(Prng.Rng.split rng)
+               ~timer:(Padding.Timer.Constant 0.01)
+               ~jitter:(Padding.Jitter.mechanistic ())
+               ~dest:(fun _ -> ())
+               ()
+           in
+           let src =
+             Netsim.Traffic_gen.poisson sim ~rng:(Prng.Rng.split rng)
+               ~rate_pps:40.0 ~size_bytes:500 ~kind:Netsim.Packet.Payload
+               ~dest:(Padding.Gateway.input gw) ()
+           in
+           Desim.Sim.run_until sim ~time:1.0;
+           Netsim.Traffic_gen.stop src;
+           Padding.Gateway.stop gw));
+    Test.make ~name:"router.cross_1k_packets"
+      (Staged.stage (fun () ->
+           let sim = Desim.Sim.create () in
+           let router =
+             Netsim.Router.create sim ~bandwidth_bps:622e6 ~dest:(fun _ -> ()) ()
+           in
+           for _ = 0 to 999 do
+             Netsim.Router.port router
+               (Netsim.Packet.make ~kind:Netsim.Packet.Cross ~size_bytes:500
+                  ~created:(Desim.Sim.now sim))
+           done;
+           Desim.Sim.run_until sim ~time:1.0));
+    Test.make ~name:"feature.variance_n1000"
+      (Staged.stage (fun () ->
+           ignore
+             (Adversary.Feature.extract Adversary.Feature.Sample_variance
+                ~reference:0.01 sample_1k)));
+    Test.make ~name:"feature.entropy_n1000"
+      (Staged.stage (fun () ->
+           ignore
+             (Adversary.Feature.extract entropy_kind ~reference:0.01 sample_1k)));
+    Test.make ~name:"kde.fit_200"
+      (Staged.stage (fun () -> ignore (Stats.Kde.fit kde_points)));
+    Test.make ~name:"kde.log_pdf_200pts"
+      (Staged.stage (fun () -> ignore (Stats.Kde.log_pdf kde 0.3)));
+    Test.make ~name:"classifier.classify"
+      (Staged.stage (fun () -> ignore (Adversary.Classifier.classify clf 1.0)));
+    Test.make ~name:"theorems.closed_forms"
+      (Staged.stage (fun () ->
+           ignore (Analytical.Theorems.v_mean ~r:1.8);
+           ignore (Analytical.Theorems.v_variance ~r:1.8 ~n:1000);
+           ignore (Analytical.Theorems.v_entropy ~r:1.8 ~n:1000)));
+    Test.make ~name:"bayes.sample_variance_exact"
+      (Staged.stage (fun () ->
+           ignore
+             (Analytical.Bayes_numeric.sample_variance_exact ~sigma2_l:1.0
+                ~sigma2_h:1.9 ~n:1000)));
+  ]
+
+let run_micro_benchmarks () =
+  let open Bechamel in
+  Format.fprintf fmt "@.Micro-benchmarks (Bechamel, monotonic clock)@.";
+  Format.fprintf fmt "%-32s  %14s  %10s@." "kernel" "ns/run" "r^2";
+  Format.fprintf fmt "%s@." (String.make 62 '-');
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ x ] -> x
+            | Some (x :: _) -> x
+            | _ -> Float.nan
+          in
+          let r2 = Option.value (Analyze.OLS.r_square est) ~default:Float.nan in
+          Format.fprintf fmt "%-32s  %14.1f  %10.4f@." (Test.Elt.name elt) ns r2)
+        (Test.elements test))
+    (micro_tests ())
+
+let () =
+  Arg.parse args
+    (fun anon -> raise (Arg.Bad ("unexpected argument: " ^ anon)))
+    "bench/main.exe -- regenerate the paper's figures and micro-benchmarks";
+  let t0 = Unix.gettimeofday () in
+  run_figures ();
+  if !run_micro then run_micro_benchmarks ();
+  Format.fprintf fmt "@.[bench total %.1f s, scale %.2f, seed %d]@."
+    (Unix.gettimeofday () -. t0)
+    !scale !seed

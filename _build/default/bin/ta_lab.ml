@@ -1,0 +1,242 @@
+(* ta_lab — command-line driver for the traffic-analysis countermeasure
+   laboratory: reproduce any figure of Fu et al. (ICPP 2003), query the
+   closed-form theory, or evaluate a custom padding configuration. *)
+
+open Cmdliner
+
+let fmt = Format.std_formatter
+
+let scale_arg =
+  let doc = "Workload scale factor (1.0 = paper fidelity; smaller = faster)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let seed_arg =
+  let doc = "Root random seed (every run is deterministic in it)." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let csv_arg =
+  let doc = "Directory to drop CSV copies of the printed tables into." in
+  Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let run_figure name f =
+  let run scale seed csv_dir =
+    Scenarios.Calibration.print_setup fmt;
+    f ~scale ?seed ?csv_dir ();
+    `Ok ()
+  in
+  let term = Term.(ret (const run $ scale_arg $ seed_arg $ csv_arg)) in
+  let info = Cmd.info name ~doc:(Printf.sprintf "Reproduce %s." name) in
+  Cmd.v info term
+
+let fig4a_cmd =
+  run_figure "fig4a" (fun ~scale ?seed ?csv_dir () ->
+      ignore (Scenarios.Fig4a.run ~scale ?seed ?csv_dir fmt))
+
+let fig4b_cmd =
+  run_figure "fig4b" (fun ~scale ?seed ?csv_dir () ->
+      ignore (Scenarios.Fig4b.run ~scale ?seed ?csv_dir fmt))
+
+let fig5a_cmd =
+  run_figure "fig5a" (fun ~scale ?seed ?csv_dir () ->
+      ignore (Scenarios.Fig5a.run ~scale ?seed ?csv_dir fmt))
+
+let fig5b_cmd =
+  run_figure "fig5b" (fun ~scale:_ ?seed ?csv_dir () ->
+      ignore (Scenarios.Fig5b.run ?seed ?csv_dir fmt))
+
+let fig6_cmd =
+  run_figure "fig6" (fun ~scale ?seed ?csv_dir () ->
+      ignore (Scenarios.Fig6.run ~scale ?seed ?csv_dir fmt))
+
+let fig8a_cmd =
+  run_figure "fig8a" (fun ~scale ?seed ?csv_dir () ->
+      ignore (Scenarios.Fig8.run ~scale ?seed ~kind:Scenarios.Fig8.Campus ?csv_dir fmt))
+
+let fig8b_cmd =
+  run_figure "fig8b" (fun ~scale ?seed ?csv_dir () ->
+      ignore (Scenarios.Fig8.run ~scale ?seed ~kind:Scenarios.Fig8.Wan ?csv_dir fmt))
+
+let multirate_cmd =
+  run_figure "multirate" (fun ~scale ?seed ?csv_dir () ->
+      ignore (Scenarios.Multirate.run ~scale ?seed ?csv_dir fmt))
+
+let ablations_cmd =
+  let run scale seed =
+    let seed = Option.value seed ~default:51_000 in
+    ignore (Scenarios.Ablations.run_jitter_models ~scale ~seed fmt);
+    ignore (Scenarios.Ablations.run_vit_laws ~scale ~seed:(seed + 1) fmt);
+    ignore (Scenarios.Ablations.run_entropy_bins ~scale ~seed:(seed + 2) fmt);
+    ignore (Scenarios.Ablations.run_tap_positions ~scale ~seed:(seed + 3) fmt);
+    ignore (Scenarios.Ablations.run_oracle_vs_kde ~scale ~seed:(seed + 4) fmt);
+    ignore (Scenarios.Ablations.run_adaptive_vs_cit ~scale ~seed:(seed + 5) fmt);
+    ignore (Scenarios.Ablations_ext.run_classifier_backends ~scale ~seed:(seed + 6) fmt);
+    ignore (Scenarios.Ablations_ext.run_mix_vs_padding ~scale ~seed:(seed + 7) fmt);
+    ignore (Scenarios.Ablations_ext.run_size_padding ~seed:(seed + 9) fmt);
+    ignore (Scenarios.Ablations_ext.run_roc ~scale ~seed:(seed + 10) fmt);
+    Scenarios.Ablations_ext.run_bounds_table fmt;
+    ignore (Scenarios.Ablations_ext.run_qos_table ~seed:(seed + 8) fmt);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Run all design-choice ablations.")
+    Term.(ret (const run $ scale_arg $ seed_arg))
+
+let theory_cmd =
+  let r_arg =
+    Arg.(required & opt (some float) None & info [ "r"; "ratio" ] ~docv:"RATIO"
+           ~doc:"Variance ratio r >= 1.")
+  in
+  let n_arg =
+    Arg.(value & opt int 1000 & info [ "n"; "samples" ] ~docv:"N" ~doc:"Sample size.")
+  in
+  let run r n =
+    if r < 1.0 then `Error (false, "r must be >= 1")
+    else begin
+      Format.fprintf fmt "r = %.6f, n = %d@." r n;
+      Format.fprintf fmt "  v_mean     = %.4f (independent of n)@."
+        (Analytical.Theorems.v_mean ~r);
+      Format.fprintf fmt "  v_variance = %.4f  (C_Y = %.4g)@."
+        (Analytical.Theorems.v_variance ~r ~n)
+        (Analytical.Theorems.c_variance ~r);
+      Format.fprintf fmt "  v_entropy  = %.4f  (C_H = %.4g)@."
+        (Analytical.Theorems.v_entropy ~r ~n)
+        (Analytical.Theorems.c_entropy ~r);
+      Format.fprintf fmt "  n for 99%% detection: variance %.3e, entropy %.3e@."
+        (Analytical.Theorems.n_for_detection_variance ~r ~p:0.99)
+        (Analytical.Theorems.n_for_detection_entropy ~r ~p:0.99);
+      let exact =
+        Analytical.Bayes_numeric.sample_variance_exact ~sigma2_l:1.0
+          ~sigma2_h:r ~n
+      in
+      let bracket =
+        Analytical.Bounds.sample_variance_bracket ~sigma2_l:1.0 ~sigma2_h:r ~n
+      in
+      Format.fprintf fmt
+        "  sample-variance exact rate %.4f; Bhattacharyya bracket [%.4f, \
+         %.4f]@."
+        exact bracket.Analytical.Bounds.lower bracket.Analytical.Bounds.upper;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "theory" ~doc:"Evaluate the closed-form detection rates.")
+    Term.(ret (const run $ r_arg $ n_arg))
+
+let design_cmd =
+  let vmax_arg =
+    Arg.(value & opt float 0.55 & info [ "vmax" ] ~docv:"RATE"
+           ~doc:"Tolerated detection rate in (0.5, 1).")
+  in
+  let nmax_arg =
+    Arg.(value & opt int 1_000_000 & info [ "nmax" ] ~docv:"N"
+           ~doc:"Adversary's sample-size budget.")
+  in
+  let run vmax nmax seed =
+    let seed = Option.value seed ~default:4242 in
+    let sigma_t = Linkpad.recommend_sigma_t ~seed ~v_max:vmax ~n_max:nmax () in
+    Format.fprintf fmt
+      "Recommended VIT sigma_T = %.3f us (target detection <= %.3f against \
+       n <= %d)@."
+      (sigma_t *. 1e6) vmax nmax;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "design" ~doc:"Recommend a VIT sigma_T for a security budget.")
+    Term.(ret (const run $ vmax_arg $ nmax_arg $ seed_arg))
+
+let evaluate_cmd =
+  let padding_arg =
+    let doc = "Padding scheme: 'cit' or 'vit:SIGMA_US'." in
+    Arg.(value & opt string "cit" & info [ "padding" ] ~docv:"SCHEME" ~doc)
+  in
+  let where_arg =
+    let doc = "Observation point: 'gw' or 'router:UTIL'." in
+    Arg.(value & opt string "gw" & info [ "where" ] ~docv:"WHERE" ~doc)
+  in
+  let n_arg =
+    Arg.(value & opt int 1000 & info [ "n"; "samples" ] ~docv:"N" ~doc:"Sample size.")
+  in
+  let parse_padding s =
+    match String.split_on_char ':' s with
+    | [ "cit" ] -> Ok Linkpad.Cit
+    | [ "vit"; us ] -> (
+        match float_of_string_opt us with
+        | Some v when v > 0.0 -> Ok (Linkpad.Vit { sigma_t = v *. 1e-6 })
+        | _ -> Error "vit sigma must be a positive number of microseconds")
+    | _ -> Error "padding must be 'cit' or 'vit:SIGMA_US'"
+  in
+  let parse_where s =
+    match String.split_on_char ':' s with
+    | [ "gw" ] -> Ok Linkpad.At_sender_gateway
+    | [ "router"; u ] -> (
+        match float_of_string_opt u with
+        | Some u when u >= 0.0 && u < 1.0 ->
+            Ok (Linkpad.Behind_lab_router { utilization = u })
+        | _ -> Error "router utilization must be in [0, 1)")
+    | _ -> Error "where must be 'gw' or 'router:UTIL'"
+  in
+  let run padding where n seed =
+    match (parse_padding padding, parse_where where) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok padding, Ok observation ->
+        let spec =
+          {
+            Linkpad.default_spec with
+            Linkpad.padding;
+            observation;
+            sample_size = n;
+            seed = Option.value seed ~default:42;
+          }
+        in
+        let report = Linkpad.evaluate spec in
+        Linkpad.pp_report fmt report;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Evaluate a custom padding configuration.")
+    Term.(ret (const run $ padding_arg $ where_arg $ n_arg $ seed_arg))
+
+let setup_cmd =
+  let run () =
+    Scenarios.Calibration.print_setup fmt;
+    let cal = Scenarios.Calibration.measure_gateway_sigmas () in
+    Format.fprintf fmt
+      "Calibrated gateway PIAT sigma: low %.3f us, high %.3f us (r = %.4f)@."
+      (cal.Scenarios.Calibration.sigma_low *. 1e6)
+      (cal.Scenarios.Calibration.sigma_high *. 1e6)
+      cal.Scenarios.Calibration.r_hat;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "setup" ~doc:"Print the experiment setup and calibration.")
+    Term.(ret (const run $ const ()))
+
+let all_cmd =
+  let run scale seed csv_dir =
+    Scenarios.Calibration.print_setup fmt;
+    let s = Option.value seed ~default:42_000 in
+    ignore (Scenarios.Fig4a.run ~scale ~seed:(s + 1) ?csv_dir fmt);
+    ignore (Scenarios.Fig4b.run ~scale ~seed:(s + 2) ?csv_dir fmt);
+    ignore (Scenarios.Fig5a.run ~scale ~seed:(s + 3) ?csv_dir fmt);
+    ignore (Scenarios.Fig5b.run ~seed:(s + 4) ?csv_dir fmt);
+    ignore (Scenarios.Fig6.run ~scale ~seed:(s + 5) ?csv_dir fmt);
+    ignore (Scenarios.Fig8.run ~scale ~seed:(s + 6) ~kind:Scenarios.Fig8.Campus ?csv_dir fmt);
+    ignore (Scenarios.Fig8.run ~scale ~seed:(s + 7) ~kind:Scenarios.Fig8.Wan ?csv_dir fmt);
+    ignore (Scenarios.Multirate.run ~scale ~seed:(s + 8) ?csv_dir fmt);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Reproduce every figure in sequence.")
+    Term.(ret (const run $ scale_arg $ seed_arg $ csv_arg))
+
+let main_cmd =
+  let doc = "traffic-analysis countermeasure laboratory (Fu et al., ICPP 2003)" in
+  Cmd.group
+    (Cmd.info "ta_lab" ~version:"1.0.0" ~doc)
+    [
+      setup_cmd; fig4a_cmd; fig4b_cmd; fig5a_cmd; fig5b_cmd; fig6_cmd;
+      fig8a_cmd; fig8b_cmd; multirate_cmd; ablations_cmd; theory_cmd;
+      design_cmd; evaluate_cmd; all_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/adaptive_tradeoff.ml: Adversary Format List Scenarios

@@ -1,0 +1,1 @@
+examples/counting_attack.ml: Adversary Format Scenarios Stats

@@ -1,0 +1,1 @@
+examples/mix_vs_padding.ml: Adversary Format List Padding Scenarios

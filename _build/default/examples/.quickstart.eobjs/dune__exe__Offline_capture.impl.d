@@ -1,0 +1,1 @@
+examples/offline_capture.ml: Adversary Array Filename Format Fun List Netsim Printf Scenarios Sys

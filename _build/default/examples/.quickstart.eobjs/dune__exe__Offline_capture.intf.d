@@ -1,0 +1,1 @@
+examples/offline_capture.mli:

@@ -1,0 +1,1 @@
+examples/vit_design.ml: Analytical Format Linkpad List Scenarios

@@ -1,0 +1,62 @@
+(* Adaptive traffic masking: the bandwidth/secrecy trade-off.
+
+   Timmerman-style adaptive masking (paper Section 2, ref [23]) stretches
+   the padding timer when payload is light to save dummy bandwidth.  The
+   paper's objection: large-scale rate variations then reach the wire, so
+   even the weak sample-mean feature reads the payload rate.  This example
+   measures both sides of the trade-off against CIT.
+
+     dune exec examples/adaptive_tradeoff.exe *)
+
+let fmt = Format.std_formatter
+let sample_size = 500
+let windows = 12
+
+let collect ~adaptive ~rate ~seed =
+  let cfg =
+    {
+      Scenarios.System.default_config with
+      Scenarios.System.seed = seed;
+      payload_rate_pps = rate;
+    }
+  in
+  let piats = sample_size * windows in
+  if adaptive then Scenarios.System.run_adaptive cfg ~piats
+  else Scenarios.System.run cfg ~piats
+
+let analyze ~adaptive ~label =
+  let low =
+    collect ~adaptive ~rate:Scenarios.Calibration.rate_low_pps ~seed:64_001
+  in
+  let high =
+    collect ~adaptive ~rate:Scenarios.Calibration.rate_high_pps ~seed:64_002
+  in
+  let classes =
+    [|
+      ("10pps", low.Scenarios.System.piats);
+      ("40pps", high.Scenarios.System.piats);
+    |]
+  in
+  Format.fprintf fmt "@.%s@." label;
+  Format.fprintf fmt "  dummy overhead: %.0f%% (low rate), %.0f%% (high rate)@."
+    (low.Scenarios.System.overhead *. 100.)
+    (high.Scenarios.System.overhead *. 100.);
+  List.iter
+    (fun feature ->
+      let r =
+        Adversary.Detection.estimate ~feature
+          ~reference:Scenarios.Calibration.timer_mean ~sample_size ~classes ()
+      in
+      Format.fprintf fmt "  detection by %-8s (n=%d): %.3f@."
+        (Adversary.Feature.name feature)
+        sample_size r.Adversary.Detection.detection_rate)
+    Adversary.Feature.standard_set
+
+let () =
+  analyze ~adaptive:false ~label:"CIT (fixed 10 ms timer):";
+  analyze ~adaptive:true ~label:"Adaptive masking (10-40 ms timer band):";
+  Format.fprintf fmt
+    "@.Adaptive masking cuts dummy bandwidth at the low rate but hands \
+     the rate to the@.adversary through the mean PIAT — exactly the \
+     perfect-secrecy violation the paper@.describes for rate-reducing \
+     masks.@."

@@ -1,0 +1,85 @@
+(* The attack padding exists to stop: packet counting.
+
+   Without padding, the payload rate is readable straight off the wire by
+   counting packets per second (Raymond 2001).  This example mounts that
+   counting attack against (a) the unpadded stream and (b) the CIT-padded
+   stream, then mounts the paper's stronger variance attack on the padded
+   stream — showing why the paper needs statistical features at all.
+
+     dune exec examples/counting_attack.exe *)
+
+let fmt = Format.std_formatter
+let window = 1.0 (* seconds per counting window *)
+
+let collect ~padded ~rate ~seed =
+  let cfg =
+    {
+      Scenarios.System.default_config with
+      Scenarios.System.seed = seed;
+      payload_rate_pps = rate;
+    }
+  in
+  if padded then Scenarios.System.run cfg ~piats:20_000
+  else Scenarios.System.run_unpadded cfg ~packets:4_000
+
+let attack ~padded =
+  let low =
+    collect ~padded ~rate:Scenarios.Calibration.rate_low_pps ~seed:61_001
+  in
+  let high =
+    collect ~padded ~rate:Scenarios.Calibration.rate_high_pps ~seed:61_002
+  in
+  let result =
+    Adversary.Counting.estimate ~window
+      ~classes:
+        [|
+          ("10pps", low.Scenarios.System.timestamps);
+          ("40pps", high.Scenarios.System.timestamps);
+        |]
+      ()
+  in
+  result.Adversary.Detection.detection_rate
+
+let () =
+  Format.fprintf fmt "Counting attack (packets per %.0f s window):@." window;
+  let unpadded = attack ~padded:false in
+  (* Theory: Poisson payload makes the window counts Poisson(rate*window),
+     so the exact Bayes detection rate of the counting attack is a pmf
+     sum. *)
+  let exact =
+    Stats.Discrete.bayes_detection_two
+      (Stats.Discrete.poisson
+         ~mean:(Scenarios.Calibration.rate_low_pps *. window))
+      (Stats.Discrete.poisson
+         ~mean:(Scenarios.Calibration.rate_high_pps *. window))
+      ()
+  in
+  Format.fprintf fmt
+    "  unpadded stream : detection rate %.3f (exact Bayes: %.3f)@." unpadded
+    exact;
+  let padded = attack ~padded:true in
+  Format.fprintf fmt "  CIT-padded      : detection rate %.3f@." padded;
+
+  (* The padded stream defeats counting; the paper's point is that the
+     second-order statistics still leak. *)
+  let low = collect ~padded:true ~rate:10.0 ~seed:61_003 in
+  let high = collect ~padded:true ~rate:40.0 ~seed:61_004 in
+  let variance_attack =
+    Adversary.Detection.estimate ~feature:Adversary.Feature.Sample_variance
+      ~reference:Scenarios.Calibration.timer_mean ~sample_size:1000
+      ~classes:
+        [|
+          ("10pps", low.Scenarios.System.piats);
+          ("40pps", high.Scenarios.System.piats);
+        |]
+      ()
+  in
+  Format.fprintf fmt
+    "  CIT-padded, sample-variance feature (n=1000): detection rate %.3f@."
+    variance_attack.Adversary.Detection.detection_rate;
+  Format.fprintf fmt
+    "@.Counting: %.0f%% -> %.0f%% (padding closes the rate channel);@."
+    (unpadded *. 100.) (padded *. 100.);
+  Format.fprintf fmt
+    "variance: %.0f%% (the residual timing channel the paper analyzes).@."
+    (variance_attack.Adversary.Detection.detection_rate *. 100.)

@@ -1,0 +1,70 @@
+(* Why mixing alone does not hide traffic rates.
+
+   A Chaum threshold mix (the starting point of the paper's related work)
+   shuffles message correspondence, but its batch-flush timing tracks the
+   payload rate: at 40 pps a K=8 batch fills in ~0.2 s, at 10 pps it waits
+   for the timeout.  This example runs the same rate-classification attack
+   against a mix and against CIT/VIT link padding, and prints the
+   defender's bandwidth bill next to each.
+
+     dune exec examples/mix_vs_padding.exe *)
+
+let fmt = Format.std_formatter
+let sample_size = 200
+let windows = 24
+
+let collect ~scheme ~rate ~seed =
+  let cfg =
+    {
+      Scenarios.System.default_config with
+      Scenarios.System.seed = seed;
+      payload_rate_pps = rate;
+    }
+  in
+  let piats = sample_size * windows in
+  match scheme with
+  | `Mix -> Scenarios.System.run_mix ~threshold:8 ~timeout:0.5 cfg ~piats
+  | `Cit -> Scenarios.System.run cfg ~piats
+  | `Vit ->
+      Scenarios.System.run
+        {
+          cfg with
+          Scenarios.System.timer =
+            Padding.Timer.Normal
+              { mean = Scenarios.Calibration.timer_mean; sigma = 20e-6 };
+        }
+        ~piats
+
+let () =
+  List.iter
+    (fun (label, scheme) ->
+      let low = collect ~scheme ~rate:10.0 ~seed:65_001 in
+      let high = collect ~scheme ~rate:40.0 ~seed:65_002 in
+      let classes =
+        [| ("10pps", low.Scenarios.System.piats);
+           ("40pps", high.Scenarios.System.piats) |]
+      in
+      Format.fprintf fmt "@.%s@." label;
+      Format.fprintf fmt "  dummy overhead: %.0f%% / %.0f%% (low/high rate)@."
+        (low.Scenarios.System.overhead *. 100.)
+        (high.Scenarios.System.overhead *. 100.);
+      List.iter
+        (fun feature ->
+          let r =
+            Adversary.Detection.estimate ~feature
+              ~reference:Scenarios.Calibration.timer_mean ~sample_size ~classes
+              ()
+          in
+          Format.fprintf fmt "  %-8s detection (n=%d): %.3f@."
+            (Adversary.Feature.name feature)
+            sample_size r.Adversary.Detection.detection_rate)
+        Adversary.Feature.standard_set)
+    [
+      ("Threshold mix (K=8, 500 ms timeout):", `Mix);
+      ("CIT link padding (10 ms timer):", `Cit);
+      ("VIT link padding (sigma_T = 20 us):", `Vit);
+    ];
+  Format.fprintf fmt
+    "@.The mix is transparent to a rate adversary (its mean PIAT alone \
+     gives it away);@.CIT hides the mean but leaks through variance; VIT \
+     closes both channels.@."

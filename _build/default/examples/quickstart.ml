@@ -1,0 +1,43 @@
+(* Quickstart: evaluate how well link padding hides the payload rate.
+
+   We ask one question three times: if an adversary taps the wire right
+   outside the sender gateway and watches 1000 packet inter-arrival times,
+   how often do they correctly guess whether the hidden payload runs at 10
+   or 40 packets/s?
+
+     dune exec examples/quickstart.exe *)
+
+let fmt = Format.std_formatter
+
+let () =
+  Format.fprintf fmt "=== 1. CIT padding (constant 10 ms timer) ===@.";
+  let cit =
+    Linkpad.evaluate
+      { Linkpad.default_spec with Linkpad.windows_per_class = 24 }
+  in
+  Linkpad.pp_report fmt cit;
+
+  Format.fprintf fmt
+    "@.=== 2. VIT padding (timer interval ~ N(10 ms, (20 us)^2)) ===@.";
+  let vit =
+    Linkpad.evaluate
+      {
+        Linkpad.default_spec with
+        Linkpad.padding = Linkpad.Vit { sigma_t = 20e-6 };
+        windows_per_class = 24;
+      }
+  in
+  Linkpad.pp_report fmt vit;
+
+  Format.fprintf fmt "@.=== 3. Design guideline ===@.";
+  let sigma_t = Linkpad.recommend_sigma_t ~v_max:0.55 ~n_max:100_000 () in
+  Format.fprintf fmt
+    "To keep every feature's detection rate below 0.55 against an \
+     adversary@.collecting up to 100k PIATs, drive the timer with sigma_T \
+     >= %.1f us.@."
+    (sigma_t *. 1e6);
+
+  Format.fprintf fmt
+    "@.Summary: CIT leaks (worst detection %.2f); VIT at 20 us already \
+     cuts it to %.2f.@."
+    cit.Linkpad.worst_detection vit.Linkpad.worst_detection

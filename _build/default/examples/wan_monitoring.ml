@@ -1,0 +1,43 @@
+(* Is CIT padding safe once the adversary sits behind 15 noisy routers?
+
+   The paper's answer (Fig. 8b): no — congestion masks the leak at rush
+   hour, but in the small hours the network is quiet and the variance/
+   entropy features recover.  This example evaluates the WAN path at
+   2 AM and 2 PM through the public API, plus the same path under VIT.
+
+     dune exec examples/wan_monitoring.exe *)
+
+let fmt = Format.std_formatter
+
+let evaluate ~padding ~hour ~seed =
+  let hops = Scenarios.Fig8.hops_for Scenarios.Fig8.Wan ~hour in
+  Linkpad.evaluate
+    {
+      Linkpad.padding;
+      observation = Linkpad.Across_path { hops };
+      sample_size = 1000;
+      windows_per_class = 12;
+      seed;
+    }
+
+let () =
+  Format.fprintf fmt
+    "WAN path: 15 routers, 6 carrying diurnal cross traffic (OSU->TAMU \
+     substitute)@.";
+  List.iter
+    (fun (label, hour, seed) ->
+      Format.fprintf fmt "@.--- CIT, %s (per-hop utilization %.2f) ---@."
+        label
+        (Scenarios.Diurnal.wan_congested_utilization ~hour);
+      let report = evaluate ~padding:Linkpad.Cit ~hour ~seed in
+      Linkpad.pp_report fmt report)
+    [ ("02:00 (quiet)", 2.0, 63_001); ("14:00 (busy)", 14.0, 63_002) ];
+
+  Format.fprintf fmt "@.--- VIT(sigma_T = 50 us), 02:00 ---@.";
+  let vit =
+    evaluate ~padding:(Linkpad.Vit { sigma_t = 50e-6 }) ~hour:2.0 ~seed:63_003
+  in
+  Linkpad.pp_report fmt vit;
+  Format.fprintf fmt
+    "@.Takeaway: CIT remains detectable at 2 AM even across the WAN; VIT \
+     closes the window.@."

@@ -1,0 +1,1 @@
+lib/adversary/classifier.ml: Array Float Stats

@@ -1,0 +1,1 @@
+lib/adversary/classifier.mli: Stats

@@ -1,0 +1,1 @@
+lib/adversary/counting.ml: Array Detection Feature Float Stdlib

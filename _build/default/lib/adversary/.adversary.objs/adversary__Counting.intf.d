@@ -1,0 +1,1 @@
+lib/adversary/counting.mli: Detection

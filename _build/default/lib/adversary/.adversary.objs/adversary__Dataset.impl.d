@@ -1,0 +1,1 @@
+lib/adversary/dataset.ml: Array Feature

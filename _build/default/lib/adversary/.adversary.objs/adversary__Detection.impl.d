@@ -1,0 +1,1 @@
+lib/adversary/detection.ml: Array Classifier Dataset Feature List Parametric

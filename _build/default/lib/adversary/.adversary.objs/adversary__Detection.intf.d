@@ -1,0 +1,1 @@
+lib/adversary/detection.mli: Feature

@@ -1,0 +1,1 @@
+lib/adversary/feature.ml: Array Stats

@@ -1,0 +1,1 @@
+lib/adversary/joint.ml: Array Dataset Feature Stats

@@ -1,0 +1,1 @@
+lib/adversary/joint.mli: Feature

@@ -1,0 +1,1 @@
+lib/adversary/roc.ml: Array Float List

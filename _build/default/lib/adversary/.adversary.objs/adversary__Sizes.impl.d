@@ -1,0 +1,1 @@
+lib/adversary/sizes.ml: Array Detection Feature Hashtbl Option

@@ -1,0 +1,1 @@
+lib/adversary/sizes.mli: Detection

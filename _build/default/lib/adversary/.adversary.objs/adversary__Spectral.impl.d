@@ -1,0 +1,1 @@
+lib/adversary/spectral.ml: Array Dataset Detection Feature Stats

@@ -1,0 +1,1 @@
+lib/adversary/spectral.mli: Detection

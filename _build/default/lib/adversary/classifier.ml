@@ -1,0 +1,93 @@
+type cls = { name : string; prior : float; kde : Stats.Kde.t; mean : float }
+
+type t = { classes : cls array }
+
+let train ?priors ~classes () =
+  let m = Array.length classes in
+  if m < 2 then invalid_arg "Classifier.train: need >= 2 classes";
+  let priors =
+    match priors with
+    | None -> Array.make m (1.0 /. float_of_int m)
+    | Some p ->
+        if Array.length p <> m then
+          invalid_arg "Classifier.train: priors length mismatch";
+        let total = Array.fold_left ( +. ) 0.0 p in
+        if total <= 0.0 || Array.exists (fun x -> x <= 0.0) p then
+          invalid_arg "Classifier.train: priors must be positive";
+        Array.map (fun x -> x /. total) p
+  in
+  let classes =
+    Array.mapi
+      (fun i (name, xs) ->
+        if Array.length xs = 0 then
+          invalid_arg "Classifier.train: empty training set";
+        {
+          name;
+          prior = priors.(i);
+          kde = Stats.Kde.fit xs;
+          mean = Stats.Descriptive.mean xs;
+        })
+      classes
+  in
+  { classes }
+
+let num_classes t = Array.length t.classes
+let class_name t i = t.classes.(i).name
+let prior t i = t.classes.(i).prior
+let kde t i = t.classes.(i).kde
+
+let log_score cls x = log cls.prior +. Stats.Kde.log_pdf cls.kde x
+
+let classify t x =
+  let best = ref 0 in
+  let best_score = ref (log_score t.classes.(0) x) in
+  for i = 1 to Array.length t.classes - 1 do
+    let s = log_score t.classes.(i) x in
+    if s > !best_score then begin
+      best := i;
+      best_score := s
+    end
+  done;
+  !best
+
+let posteriors t x =
+  let scores = Array.map (fun c -> log_score c x) t.classes in
+  let max_s = Array.fold_left Float.max Float.neg_infinity scores in
+  if Float.is_finite max_s then begin
+    let weights = Array.map (fun s -> exp (s -. max_s)) scores in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    Array.map (fun w -> w /. total) weights
+  end
+  else Array.make (Array.length t.classes) (1.0 /. float_of_int (Array.length t.classes))
+
+let accuracy t cases =
+  let m = num_classes t in
+  let correct = Array.make m 0 and total = Array.make m 0 in
+  Array.iter
+    (fun (label, xs) ->
+      if label < 0 || label >= m then invalid_arg "Classifier.accuracy: bad label";
+      Array.iter
+        (fun x ->
+          total.(label) <- total.(label) + 1;
+          if classify t x = label then correct.(label) <- correct.(label) + 1)
+        xs)
+    cases;
+  let acc = ref 0.0 in
+  for i = 0 to m - 1 do
+    if total.(i) = 0 then invalid_arg "Classifier.accuracy: class without test data";
+    acc :=
+      !acc +. (t.classes.(i).prior *. float_of_int correct.(i) /. float_of_int total.(i))
+  done;
+  !acc
+
+let threshold_two_class t =
+  if num_classes t <> 2 then
+    invalid_arg "Classifier.threshold_two_class: not a binary classifier";
+  let c0 = t.classes.(0) and c1 = t.classes.(1) in
+  let f x = log_score c0 x -. log_score c1 x in
+  let lo = Float.min c0.mean c1.mean and hi = Float.max c0.mean c1.mean in
+  if lo = hi then None
+  else
+    let flo = f lo and fhi = f hi in
+    if (flo > 0.0 && fhi > 0.0) || (flo < 0.0 && fhi < 0.0) then None
+    else Some (Stats.Rootfind.bisect f ~lo ~hi)

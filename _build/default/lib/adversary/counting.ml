@@ -1,0 +1,25 @@
+let counts_per_window timestamps ~window =
+  if window <= 0.0 then invalid_arg "Counting.counts_per_window: window <= 0";
+  let n = Array.length timestamps in
+  if n = 0 then [||]
+  else begin
+    let t0 = timestamps.(0) in
+    let span = timestamps.(n - 1) -. t0 in
+    let windows = Stdlib.max 1 (int_of_float (Float.floor (span /. window))) in
+    let counts = Array.make windows 0 in
+    Array.iter
+      (fun t ->
+        let i = int_of_float (Float.floor ((t -. t0) /. window)) in
+        if i >= 0 && i < windows then counts.(i) <- counts.(i) + 1)
+      timestamps;
+    Array.map float_of_int counts
+  end
+
+let estimate ?priors ~window ~classes () =
+  let named_features =
+    Array.map
+      (fun (name, timestamps) -> (name, counts_per_window timestamps ~window))
+      classes
+  in
+  Detection.estimate_on_features ?priors ~feature:Feature.Sample_mean
+    ~sample_size:1 ~named_features ()

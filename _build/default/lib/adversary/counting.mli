@@ -1,0 +1,26 @@
+(** Packet-counting attack — the baseline padding defends against.
+
+    On *unpadded* traffic the payload rate is readable directly from the
+    number of packets per time window (Raymond 2001, paper §2).  This
+    module mounts that attack so the examples can show detection ≈ 100%
+    without padding and ≈ 50% with it: the motivation for the whole
+    countermeasure. *)
+
+val counts_per_window : float array -> window:float -> float array
+(** [counts_per_window timestamps ~window] buckets arrival timestamps into
+    consecutive windows of [window] seconds starting at the first arrival
+    and returns the per-window packet counts (as floats, so they feed the
+    scalar {!Classifier}).  Empty input gives an empty array.
+    [window > 0]. *)
+
+val estimate :
+  ?priors:float array ->
+  window:float ->
+  classes:(string * float array) array ->
+  unit ->
+  Detection.result
+(** KDE-Bayes detection rate using the per-window count as the feature;
+    [classes.(i) = (name, arrival timestamps)].  Reported with
+    [feature = Sample_mean] semantics (the count is a windowed mean rate)
+    and [sample_size] = number of windows is folded into the per-class
+    counts. *)

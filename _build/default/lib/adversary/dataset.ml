@@ -1,0 +1,19 @@
+let slice trace ~sample_size =
+  if sample_size < 1 then invalid_arg "Dataset.slice: sample_size < 1";
+  let n = Array.length trace / sample_size in
+  Array.init n (fun i -> Array.sub trace (i * sample_size) sample_size)
+
+let features_of_trace kind ~reference ~sample_size trace =
+  let windows = slice trace ~sample_size in
+  if Array.length windows = 0 then
+    invalid_arg "Dataset.features_of_trace: trace shorter than one window";
+  Array.map (Feature.extract kind ~reference) windows
+
+let split_alternating xs =
+  let n = Array.length xs in
+  let even = Array.make ((n + 1) / 2) 0.0 in
+  let odd = Array.make (n / 2) 0.0 in
+  Array.iteri
+    (fun i x -> if i mod 2 = 0 then even.(i / 2) <- x else odd.(i / 2) <- x)
+    xs;
+  (even, odd)

@@ -1,0 +1,16 @@
+(** Turning raw PIAT traces into labeled feature datasets. *)
+
+val slice : float array -> sample_size:int -> float array array
+(** Non-overlapping consecutive windows of [sample_size] PIATs; the
+    trailing remainder is discarded.  [sample_size >= 1]. *)
+
+val features_of_trace :
+  Feature.kind -> reference:float -> sample_size:int -> float array -> float array
+(** One feature value per {!slice} window.  Raises if the trace yields no
+    complete window. *)
+
+val split_alternating : float array -> float array * float array
+(** Even-indexed elements and odd-indexed elements — an interleaved
+    train/test split that keeps both halves exposed to the same slow
+    drifts (time-of-day, queue warm-up) instead of training on the first
+    half-hour and testing on the second. *)

@@ -1,0 +1,70 @@
+type result = {
+  feature : Feature.kind;
+  sample_size : int;
+  detection_rate : float;
+  n_train_per_class : int array;
+  n_test_per_class : int array;
+  threshold : float option;
+}
+
+let estimate_on_features ?priors ?(backend = `Kde) ~feature ~sample_size
+    ~named_features () =
+  let split = Array.map (fun (_, fs) -> Dataset.split_alternating fs) named_features in
+  Array.iter
+    (fun (train, test) ->
+      if Array.length train < 2 || Array.length test < 2 then
+        invalid_arg "Detection.estimate: fewer than 4 feature values in a class")
+    split;
+  let classes =
+    Array.map2
+      (fun (name, _) (train, _) -> (name, train))
+      named_features split
+  in
+  let cases = Array.mapi (fun i (_, test) -> (i, test)) split in
+  let detection_rate, threshold =
+    match backend with
+    | `Kde ->
+        let clf = Classifier.train ?priors ~classes () in
+        let threshold =
+          if Array.length named_features = 2 then
+            Classifier.threshold_two_class clf
+          else None
+        in
+        (Classifier.accuracy clf cases, threshold)
+    | `Gaussian ->
+        let clf = Parametric.train ?priors ~classes () in
+        (Parametric.accuracy clf cases, None)
+  in
+  {
+    feature;
+    sample_size;
+    detection_rate;
+    n_train_per_class = Array.map (fun (train, _) -> Array.length train) split;
+    n_test_per_class = Array.map (fun (_, test) -> Array.length test) split;
+    threshold;
+  }
+
+let estimate ?priors ~feature ~reference ~sample_size ~classes () =
+  let named_features =
+    Array.map
+      (fun (name, trace) ->
+        (name, Dataset.features_of_trace feature ~reference ~sample_size trace))
+      classes
+  in
+  estimate_on_features ?priors ~feature ~sample_size ~named_features ()
+
+let estimate_features ?priors ~features ~reference ~sample_size ~classes () =
+  (* Slice once, extract every feature from the same windows. *)
+  let windows =
+    Array.map (fun (name, trace) -> (name, Dataset.slice trace ~sample_size)) classes
+  in
+  List.map
+    (fun feature ->
+      let named_features =
+        Array.map
+          (fun (name, ws) ->
+            (name, Array.map (Feature.extract feature ~reference) ws))
+          windows
+      in
+      estimate_on_features ?priors ~feature ~sample_size ~named_features ())
+    features

@@ -1,0 +1,53 @@
+(** End-to-end detection-rate estimation: the paper's off-line training +
+    run-time classification loop (§3.3), producing the empirical detection
+    rate v̂ (eq. 7) for one feature at one sample size. *)
+
+type result = {
+  feature : Feature.kind;
+  sample_size : int;
+  detection_rate : float;
+  n_train_per_class : int array;
+  n_test_per_class : int array;
+  threshold : float option;  (** binary decision threshold d, when found *)
+}
+
+val estimate :
+  ?priors:float array ->
+  feature:Feature.kind ->
+  reference:float ->
+  sample_size:int ->
+  classes:(string * float array) array ->
+  unit ->
+  result
+(** [estimate ~feature ~reference ~sample_size ~classes ()] where
+    [classes.(i) = (name, PIAT trace)].  Each trace is sliced into
+    [sample_size]-windows, features extracted, then split into interleaved
+    train/test halves; a KDE-Bayes classifier is trained and its
+    prior-weighted accuracy on the held-out halves is the detection rate.
+    Raises if any class yields fewer than 4 feature values (2 train,
+    2 test). *)
+
+val estimate_on_features :
+  ?priors:float array ->
+  ?backend:[ `Kde | `Gaussian ] ->
+  feature:Feature.kind ->
+  sample_size:int ->
+  named_features:(string * float array) array ->
+  unit ->
+  result
+(** Lower-level entry point taking already-extracted feature values per
+    class (used by {!Counting}, {!Spectral}, and ablations that
+    pre-process features); performs the interleaved split, training, and
+    scoring.  [backend] selects the density model the adversary trains:
+    the paper's Gaussian-kernel estimator ([`Kde], default) or a plain
+    per-class Gaussian fit ([`Gaussian], no threshold reported). *)
+
+val estimate_features :
+  ?priors:float array ->
+  features:Feature.kind list ->
+  reference:float ->
+  sample_size:int ->
+  classes:(string * float array) array ->
+  unit ->
+  result list
+(** {!estimate} for several features over the same traces (slicing reuse). *)

@@ -1,0 +1,33 @@
+type kind =
+  | Sample_mean
+  | Sample_variance
+  | Sample_entropy of { bin_width : float }
+
+let name = function
+  | Sample_mean -> "mean"
+  | Sample_variance -> "variance"
+  | Sample_entropy _ -> "entropy"
+
+let min_sample_size = function
+  | Sample_mean -> 1
+  | Sample_variance -> 2
+  | Sample_entropy _ -> 2
+
+let extract kind ~reference sample =
+  let n = Array.length sample in
+  if n < min_sample_size kind then
+    invalid_arg "Feature.extract: sample too small";
+  match kind with
+  | Sample_mean -> Stats.Descriptive.mean sample
+  | Sample_variance -> Stats.Descriptive.variance sample
+  | Sample_entropy { bin_width } ->
+      Stats.Entropy.of_sample ~bin_width ~reference sample
+
+let default_entropy_bin_width = 1e-6
+
+let standard_set =
+  [
+    Sample_mean;
+    Sample_variance;
+    Sample_entropy { bin_width = default_entropy_bin_width };
+  ]

@@ -1,0 +1,30 @@
+(** The adversary's feature statistics over a PIAT sample (paper §3.3):
+    sample mean, sample variance, and the robust histogram-based sample
+    entropy of eq. (25). *)
+
+type kind =
+  | Sample_mean
+  | Sample_variance
+  | Sample_entropy of { bin_width : float }
+      (** Bin width must be held constant across an experiment so the
+          [ln Δh] offset cancels between classes (paper §4.4). *)
+
+val name : kind -> string
+(** "mean" | "variance" | "entropy". *)
+
+val extract : kind -> reference:float -> float array -> float
+(** [extract kind ~reference sample] computes the feature of one PIAT
+    sample.  [reference] anchors the entropy histogram grid (use the
+    nominal timer period τ); it is ignored by mean and variance.
+    Raises on samples too small for the feature (mean: n >= 1,
+    variance/entropy: n >= 2). *)
+
+val min_sample_size : kind -> int
+
+val default_entropy_bin_width : float
+(** 1 µs — comfortably below the µs-scale gateway jitter the calibration
+    produces, giving the estimator enough resolution to see the variance
+    difference while keeping dozens of populated bins at n = 1000. *)
+
+val standard_set : kind list
+(** The paper's three features, entropy at the default bin width. *)

@@ -1,0 +1,46 @@
+(** Joint (multi-feature) naive-Bayes adversary — §6-flavoured extension.
+
+    The paper scores each feature statistic separately; a stronger
+    adversary combines them.  Under a naive-Bayes (per-class feature
+    independence) assumption the combined log-posterior is the sum of the
+    per-feature KDE log-densities — simple, and strictly more informed
+    than any single feature when the features carry complementary noise. *)
+
+type t
+
+val train :
+  ?priors:float array ->
+  classes:(string * float array array) array ->
+  unit ->
+  t
+(** [classes.(i) = (name, vectors)] where [vectors.(j)] is the j-th
+    training observation: one float per feature, all observations the same
+    width (>= 1).  Raises on ragged input, empty classes, or < 2 classes. *)
+
+val num_features : t -> int
+val num_classes : t -> int
+val classify : t -> float array -> int
+(** Vector width must equal [num_features]. *)
+
+val accuracy : t -> (int * float array array) array -> float
+(** Prior-weighted accuracy over labeled feature-vector test sets. *)
+
+val feature_vectors :
+  features:Feature.kind list ->
+  reference:float ->
+  sample_size:int ->
+  float array ->
+  float array array
+(** Slice a PIAT trace into windows and compute one feature vector per
+    window, in the order of [features]. *)
+
+val estimate :
+  ?priors:float array ->
+  features:Feature.kind list ->
+  reference:float ->
+  sample_size:int ->
+  classes:(string * float array) array ->
+  unit ->
+  float
+(** End-to-end joint detection rate with the interleaved train/test split
+    (the multi-feature analogue of {!Detection.estimate}). *)

@@ -1,0 +1,79 @@
+type point = { threshold : float; false_alarm : float; hit_rate : float }
+
+let check negatives positives =
+  if Array.length negatives = 0 || Array.length positives = 0 then
+    invalid_arg "Roc: empty class"
+
+let curve ~negatives ~positives =
+  check negatives positives;
+  let neg = Array.copy negatives and pos = Array.copy positives in
+  Array.sort compare neg;
+  Array.sort compare pos;
+  let n_neg = float_of_int (Array.length neg) in
+  let n_pos = float_of_int (Array.length pos) in
+  (* P(score > t | class) via binary search over the sorted samples. *)
+  let frac_above sorted t =
+    let n = Array.length sorted in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid) <= t then lo := mid + 1 else hi := mid
+    done;
+    float_of_int (n - !lo)
+  in
+  let thresholds =
+    Array.append neg pos |> Array.to_list |> List.sort_uniq compare
+  in
+  let interior =
+    List.rev_map
+      (fun t ->
+        {
+          threshold = t;
+          false_alarm = frac_above neg t /. n_neg;
+          hit_rate = frac_above pos t /. n_pos;
+        })
+      thresholds
+  in
+  (* Decreasing threshold order: start below everything (all flagged). *)
+  let lowest = List.fold_left Float.min neg.(0) (Array.to_list pos) in
+  interior
+  @ [ { threshold = lowest -. 1.0; false_alarm = 1.0; hit_rate = 1.0 } ]
+  |> fun pts ->
+  { threshold = Float.infinity; false_alarm = 0.0; hit_rate = 0.0 } :: pts
+
+let auc ~negatives ~positives =
+  check negatives positives;
+  (* Mann-Whitney U: count positive>negative pairs (+0.5 per tie). *)
+  let neg = Array.copy negatives in
+  Array.sort compare neg;
+  let n = Array.length neg in
+  let count_below_and_ties x =
+    (* (#neg < x, #neg = x) *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if neg.(mid) < x then lo := mid + 1 else hi := mid
+    done;
+    let first_ge = !lo in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if neg.(mid) <= x then lo := mid + 1 else hi := mid
+    done;
+    (first_ge, !lo - first_ge)
+  in
+  let u = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let below, ties = count_below_and_ties x in
+      u := !u +. float_of_int below +. (0.5 *. float_of_int ties))
+    positives;
+  !u /. (float_of_int n *. float_of_int (Array.length positives))
+
+let best_accuracy ~negatives ~positives =
+  let pts = curve ~negatives ~positives in
+  List.fold_left
+    (fun (best_t, best_acc) p ->
+      let acc = (p.hit_rate +. (1.0 -. p.false_alarm)) /. 2.0 in
+      if acc > best_acc then (p.threshold, acc) else (best_t, best_acc))
+    (Float.infinity, 0.5) pts

@@ -1,0 +1,29 @@
+(** ROC analysis for the two-class detector.
+
+    The paper fixes equal priors and reports one accuracy number; an IDS
+    operator instead tunes the decision threshold d along the feature axis
+    and trades false alarms (classifying ω_l traffic as ω_h) against hits
+    (catching ω_h).  The ROC curve makes the whole trade-off — and the
+    threshold-free AUC summary — visible from the same feature samples. *)
+
+type point = {
+  threshold : float;
+  false_alarm : float;  (** P(score > threshold | negative class) *)
+  hit_rate : float;     (** P(score > threshold | positive class) *)
+}
+
+val curve : negatives:float array -> positives:float array -> point list
+(** Points for every distinct score (plus the two degenerate endpoints),
+    ordered by decreasing threshold — i.e. from (0,0) to (1,1).  The
+    positive class is the one expected to score *higher* (for the paper's
+    features: the high payload rate).  Raises on empty inputs. *)
+
+val auc : negatives:float array -> positives:float array -> float
+(** Area under the ROC curve = P(random positive scores above random
+    negative) + ½·P(tie) — computed by the Mann–Whitney statistic, exact
+    for the sample.  0.5 = blind, 1.0 = separable. *)
+
+val best_accuracy : negatives:float array -> positives:float array -> float * float
+(** [(threshold, accuracy)] maximizing equal-prior accuracy
+    (hit + (1 − false alarm))/2 over the curve — the empirical analogue of
+    the paper's Bayes point. *)

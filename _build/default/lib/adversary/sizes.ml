@@ -1,0 +1,39 @@
+type kind = Mean_size | Size_entropy
+
+let name = function Mean_size -> "mean-size" | Size_entropy -> "size-entropy"
+
+let extract kind window =
+  let n = Array.length window in
+  if n = 0 then invalid_arg "Sizes.extract: empty window";
+  match kind with
+  | Mean_size ->
+      float_of_int (Array.fold_left ( + ) 0 window) /. float_of_int n
+  | Size_entropy ->
+      let tbl = Hashtbl.create 16 in
+      Array.iter
+        (fun s ->
+          Hashtbl.replace tbl s (1 + Option.value (Hashtbl.find_opt tbl s) ~default:0))
+        window;
+      Hashtbl.fold
+        (fun _ k acc ->
+          let p = float_of_int k /. float_of_int n in
+          acc -. (p *. log p))
+        tbl 0.0
+
+let features_of_trace kind ~window trace =
+  if window < 1 then invalid_arg "Sizes.features_of_trace: window < 1";
+  let count = Array.length trace / window in
+  if count = 0 then
+    invalid_arg "Sizes.features_of_trace: trace shorter than one window";
+  Array.init count (fun i ->
+      extract kind (Array.sub trace (i * window) window))
+
+let estimate ?priors ~kind ~window ~classes () =
+  let named_features =
+    Array.map
+      (fun (cls_name, sizes) ->
+        (cls_name, features_of_trace kind ~window sizes))
+      classes
+  in
+  Detection.estimate_on_features ?priors ~feature:Feature.Sample_mean
+    ~sample_size:window ~named_features ()

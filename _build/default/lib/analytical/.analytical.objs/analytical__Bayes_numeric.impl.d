@@ -1,0 +1,1 @@
+lib/analytical/bayes_numeric.ml: Float Stats

@@ -1,0 +1,1 @@
+lib/analytical/design.ml: Float Ratio Stats Theorems

@@ -1,0 +1,1 @@
+lib/analytical/multirate.ml: Array Float Stats Theorems

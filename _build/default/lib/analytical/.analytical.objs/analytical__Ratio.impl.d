@@ -1,0 +1,1 @@
+lib/analytical/ratio.ml:

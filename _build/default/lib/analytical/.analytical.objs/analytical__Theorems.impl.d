@@ -1,0 +1,1 @@
+lib/analytical/theorems.ml: Float Stats

@@ -1,0 +1,53 @@
+(** Exact/numeric Bayes detection rates — the oracle the closed forms
+    approximate (paper Fig. 2 and eq. 5–7).
+
+    Detection rate of the Bayes rule between class-conditional densities
+    f_0, f_1 with priors p_0, p_1 is v = ∫ max(p_0 f_0, p_1 f_1) dx. *)
+
+type region =
+  | Everywhere
+  | Nowhere
+  | Right_of of float            (** \[x, ∞) *)
+  | Left_of of float             (** (−∞, x\] *)
+  | Between of float * float
+  | Outside of float * float     (** complement of (a, b) *)
+
+val two_normal_region :
+  mu0:float -> s0:float -> mu1:float -> s1:float -> p0:float -> region
+(** Class-0 decision region {x : p0 f0(x) >= p1 f1(x)} for two normals —
+    the log-likelihood ratio is quadratic, so the region is exact.
+    [s0, s1 > 0], [p0 in (0,1)]. *)
+
+val two_normal :
+  mu0:float -> s0:float -> mu1:float -> s1:float -> ?p0:float -> unit -> float
+(** Exact Bayes detection rate between two normals ([p0] defaults 0.5). *)
+
+val sample_mean_exact : sigma_l:float -> sigma_h:float -> float
+(** Exact detection rate for the sample-mean feature: equal-mean normals
+    with the given PIAT sigmas (any common sample size cancels).
+    [0 < sigma_l <= sigma_h]. *)
+
+val sample_variance_exact : sigma2_l:float -> sigma2_h:float -> n:int -> float
+(** Exact detection rate for the sample-variance feature under normal
+    PIATs: S² follows a scaled chi-square (Gamma((n−1)/2, 2σ²/(n−1)));
+    same-shape gammas have a single likelihood crossing, located in closed
+    form, and the error integrals are regularized incomplete gammas.
+    [n >= 2], [0 < sigma2_l <= sigma2_h]. *)
+
+val sample_entropy_normal_approx :
+  sigma2_l:float -> sigma2_h:float -> n:int -> float
+(** Detection rate for the entropy feature under the normal approximation
+    Ĥ ~ N(½ ln(2πeσ²), 1/(2n)) (asymptotic variance of the plug-in
+    differential-entropy estimator for a Gaussian).  [n >= 1]. *)
+
+val detection_max_integral :
+  f0:(float -> float) ->
+  f1:(float -> float) ->
+  ?p0:float ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float
+(** Numeric v = ∫ max(p0 f0, p1 f1) over [lo, hi] by adaptive Simpson —
+    used to score a trained KDE pair against its own training densities
+    (an upper bound on what run-time classification can achieve). *)

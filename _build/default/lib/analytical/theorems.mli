@@ -1,0 +1,46 @@
+(** Closed-form detection-rate estimates — the paper's Theorems 1–3.
+
+    All functions take the variance ratio [r >= 1] (see {!Ratio}) and, where
+    relevant, the adversary's sample size [n].  Detection rates are
+    probabilities in [0.5, 1] for the two-equiprobable-rate system.
+
+    Theorem 1 note: the printed formula (18) in the available text,
+    v ≈ 1 − 1/(√2(1/√r + √r)), contradicts the theorem's own stated
+    properties (it gives 0.646 at r = 1 where the paper says 0.5), so the
+    transcription is corrupt.  {!v_mean} therefore implements the *exact*
+    Bayes detection rate between the two equal-mean normal laws of the
+    sample mean — v = Φ(a) − Φ(a/√r) + ½ with a = √(r ln r/(r−1)) — which
+    has every property Theorem 1 claims: independent of n, increasing in r,
+    v(1) = ½.  The printed form is kept as {!v_mean_paper_printed} for
+    reference. *)
+
+val v_mean : r:float -> float
+(** Exact sample-mean detection rate; independent of sample size. *)
+
+val v_mean_paper_printed : r:float -> float
+(** The (corrupt) printed approximation 1 − 1/(√2(1/√r + √r)), for
+    comparison tables only. *)
+
+val c_variance : r:float -> float
+(** C_Y of eq. (21); +∞ at r = 1.  Requires [r >= 1]. *)
+
+val v_variance : r:float -> n:int -> float
+(** Theorem 2: max(1 − C_Y/(n−1), 0.5).  Requires [n >= 2]. *)
+
+val c_entropy : r:float -> float
+(** C_H̃ of eq. (23); +∞ at r = 1.  Requires [r >= 1]. *)
+
+val v_entropy : r:float -> n:int -> float
+(** Theorem 3: max(1 − C_H̃/n, 0.5).  Requires [n >= 1]. *)
+
+val n_for_detection_variance : r:float -> p:float -> float
+(** Smallest (real-valued) sample size achieving detection rate [p] by
+    sample variance: C_Y/(1−p) + 1.  [0.5 <= p < 1]; +∞ at r = 1. *)
+
+val n_for_detection_entropy : r:float -> p:float -> float
+(** Same for sample entropy: C_H̃/(1−p). *)
+
+val decision_threshold_variance : sigma2_l:float -> sigma2_h:float -> float
+(** The asymptotic Bayes threshold d between the two sample-variance laws:
+    d = σ_h² ln r / (r − 1), lying strictly between σ_l² and σ_h².
+    Requires [0 < sigma2_l < sigma2_h]. *)

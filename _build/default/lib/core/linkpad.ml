@@ -1,0 +1,141 @@
+type padding_scheme = Cit | Vit of { sigma_t : float }
+
+type observation_point =
+  | At_sender_gateway
+  | Behind_lab_router of { utilization : float }
+  | Across_path of { hops : Netsim.Topology.hop_spec array }
+
+type spec = {
+  padding : padding_scheme;
+  observation : observation_point;
+  sample_size : int;
+  windows_per_class : int;
+  seed : int;
+}
+
+let default_spec =
+  {
+    padding = Cit;
+    observation = At_sender_gateway;
+    sample_size = 1000;
+    windows_per_class = 40;
+    seed = 42;
+  }
+
+type feature_report = {
+  feature : Adversary.Feature.kind;
+  empirical_detection : float;
+  theoretical_detection : float;
+}
+
+type report = {
+  spec : spec;
+  r_hat : float;
+  sigma_low : float;
+  sigma_high : float;
+  features : feature_report list;
+  worst_detection : float;
+  overhead : float;
+  mean_payload_latency : float;
+}
+
+let timer_of = function
+  | Cit -> Padding.Timer.Constant Scenarios.Calibration.timer_mean
+  | Vit { sigma_t } ->
+      if sigma_t <= 0.0 then invalid_arg "Linkpad: Vit sigma_t <= 0";
+      Padding.Timer.Normal
+        { mean = Scenarios.Calibration.timer_mean; sigma = sigma_t }
+
+let topology_of = function
+  | At_sender_gateway -> ([||], 0)
+  | Behind_lab_router { utilization } ->
+      ([| Scenarios.Fig6.hop_for_utilization ~utilization ~burst:`Poisson |], 1)
+  | Across_path { hops } -> (hops, Array.length hops)
+
+let evaluate spec =
+  if spec.sample_size < 2 then invalid_arg "Linkpad.evaluate: sample_size < 2";
+  if spec.windows_per_class < 4 then
+    invalid_arg "Linkpad.evaluate: windows_per_class < 4";
+  let hops, tap_position = topology_of spec.observation in
+  let base =
+    {
+      Scenarios.System.default_config with
+      Scenarios.System.seed = spec.seed;
+      timer = timer_of spec.padding;
+      hops;
+      tap_position;
+    }
+  in
+  let traces =
+    Scenarios.Workload.collect_pair ~base
+      ~piats:(spec.sample_size * spec.windows_per_class)
+  in
+  let scores =
+    Scenarios.Workload.score traces
+      ~features:Adversary.Feature.standard_set ~sample_size:spec.sample_size
+  in
+  let features =
+    List.map
+      (fun (s : Scenarios.Workload.scored) ->
+        {
+          feature = s.Scenarios.Workload.feature;
+          empirical_detection = s.empirical;
+          theoretical_detection = s.theory;
+        })
+      scores
+  in
+  let worst_detection =
+    List.fold_left (fun acc f -> Float.max acc f.empirical_detection) 0.5 features
+  in
+  {
+    spec;
+    r_hat = traces.Scenarios.Workload.r_hat;
+    sigma_low = sqrt traces.Scenarios.Workload.var_low;
+    sigma_high = sqrt traces.Scenarios.Workload.var_high;
+    features;
+    worst_detection;
+    overhead = traces.Scenarios.Workload.low.Scenarios.System.overhead;
+    mean_payload_latency =
+      traces.Scenarios.Workload.low.Scenarios.System.mean_payload_latency;
+  }
+
+let pp_report fmt r =
+  let scheme =
+    match r.spec.padding with
+    | Cit -> "CIT"
+    | Vit { sigma_t } -> Printf.sprintf "VIT(sigma_T=%.1fus)" (sigma_t *. 1e6)
+  in
+  let where =
+    match r.spec.observation with
+    | At_sender_gateway -> "at sender gateway"
+    | Behind_lab_router { utilization } ->
+        Printf.sprintf "behind lab router (util %.2f)" utilization
+    | Across_path { hops } ->
+        Printf.sprintf "across %d-hop path" (Array.length hops)
+  in
+  Format.fprintf fmt "Padding %s, adversary %s, sample size %d@." scheme where
+    r.spec.sample_size;
+  Format.fprintf fmt
+    "  PIAT sigma: low %.3g us, high %.3g us  (r_hat = %.4f)@."
+    (r.sigma_low *. 1e6) (r.sigma_high *. 1e6) r.r_hat;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "  %-8s : empirical %.3f | theory %.3f@."
+        (Adversary.Feature.name f.feature)
+        f.empirical_detection f.theoretical_detection)
+    r.features;
+  Format.fprintf fmt
+    "  worst-case detection %.3f; overhead %.1f%% dummies; mean payload \
+     latency %.2f ms@."
+    r.worst_detection (r.overhead *. 100.0)
+    (r.mean_payload_latency *. 1e3)
+
+let recommend_sigma_t ?(seed = 4242) ~v_max ~n_max () =
+  let cal = Scenarios.Calibration.measure_gateway_sigmas ~seed () in
+  Analytical.Design.required_sigma_t
+    {
+      Analytical.Design.sigma_gw_low = cal.Scenarios.Calibration.sigma_low;
+      sigma_gw_high = cal.Scenarios.Calibration.sigma_high;
+      n_max;
+      v_max;
+    }

@@ -1,0 +1,1 @@
+lib/desim/proc.ml: Effect Queue Sim

@@ -1,0 +1,1 @@
+lib/desim/proc.mli: Sim

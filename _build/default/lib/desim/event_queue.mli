@@ -1,0 +1,20 @@
+(** Priority queue of timestamped events.
+
+    Binary min-heap ordered by (time, sequence number): ties in time are
+    broken by insertion order, which makes simulations deterministic — a
+    hard requirement for reproducible figures. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Raises [Invalid_argument] on NaN time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, [None] when empty. *)
+
+val peek_time : 'a t -> float option
+(** Earliest timestamp without removing it. *)

@@ -1,0 +1,76 @@
+open Effect
+open Effect.Deep
+
+(* Effects are interpreted against the simulator captured by the active
+   [spawn] handler, so each process is bound to one Sim.t. *)
+type _ Effect.t +=
+  | Sleep : float -> unit Effect.t
+  | Now : float Effect.t
+  | Block : ((unit -> unit) -> unit) -> unit Effect.t
+        (** [Block register]: hand the handler a resumption thunk to stash
+            (e.g. in a mailbox's waiter queue); the process stays
+            suspended until someone calls the thunk. *)
+
+let sleep d =
+  if d < 0.0 then invalid_arg "Proc.sleep: negative duration";
+  perform (Sleep d)
+
+let now () = perform Now
+
+let spawn sim body =
+  let step (f : unit -> unit) =
+    match_with f ()
+      {
+        retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Sleep d ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    ignore
+                      (Sim.after sim ~delay:d (fun () -> continue k ())
+                        : Sim.handle))
+            | Now -> Some (fun (k : (a, _) continuation) -> continue k (Sim.now sim))
+            | Block register ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    (* The resumption must re-enter through the event queue
+                       so wake-ups keep deterministic ordering relative to
+                       other events at the same instant. *)
+                    register (fun () ->
+                        ignore
+                          (Sim.after sim ~delay:0.0 (fun () -> continue k ())
+                            : Sim.handle)))
+            | _ -> None);
+      }
+  in
+  ignore (Sim.after sim ~delay:0.0 (fun () -> step body) : Sim.handle)
+
+module Mailbox = struct
+  type 'a t = {
+    messages : 'a Queue.t;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create () = { messages = Queue.create (); waiters = Queue.create () }
+
+  let send t msg =
+    Queue.push msg t.messages;
+    if not (Queue.is_empty t.waiters) then (Queue.pop t.waiters) ()
+
+  let try_recv t =
+    if Queue.is_empty t.messages then None else Some (Queue.pop t.messages)
+
+  let rec recv t =
+    match try_recv t with
+    | Some msg -> msg
+    | None ->
+        perform (Block (fun resume -> Queue.push resume t.waiters));
+        (* A message was announced, but another consumer (or try_recv) may
+           have raced us to it at the same instant — loop. *)
+        recv t
+
+  let length t = Queue.length t.messages
+end

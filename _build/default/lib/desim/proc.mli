@@ -1,0 +1,44 @@
+(** Process-style simulation on top of {!Sim}, using OCaml 5 effects.
+
+    Callback scheduling (the {!Sim} API) is fast but turns sequential
+    protocol logic inside out.  A {e process} is plain sequential code
+    that calls {!sleep} and blocks on {!Mailbox}es; the effect handler
+    suspends the continuation and re-schedules it through the same event
+    queue, so processes and raw callbacks compose freely in one
+    simulation and determinism is unchanged.
+
+    All operations marked "inside a process" must be called from code
+    running under {!spawn}; calling them elsewhere raises
+    [Effect.Unhandled]. *)
+
+val spawn : Sim.t -> (unit -> unit) -> unit
+(** Start a process at the current simulation time.  The body runs in
+    steps interleaved with other events; an exception escaping the body
+    propagates out of the {!Sim.run_until} that was driving it. *)
+
+val sleep : float -> unit
+(** Inside a process: suspend for a non-negative simulated duration. *)
+
+val now : unit -> float
+(** Inside a process: current simulation time. *)
+
+module Mailbox : sig
+  type 'a t
+  (** Unbounded FIFO channel between processes (and callbacks). *)
+
+  val create : unit -> 'a t
+
+  val send : 'a t -> 'a -> unit
+  (** Never blocks; wakes the longest-waiting receiver, if any.  Callable
+      from anywhere (including plain callbacks). *)
+
+  val recv : 'a t -> 'a
+  (** Inside a process: take the oldest message, suspending until one is
+      available. *)
+
+  val try_recv : 'a t -> 'a option
+  (** Non-blocking take; callable from anywhere. *)
+
+  val length : 'a t -> int
+  (** Messages currently queued (not counting waiting receivers). *)
+end

@@ -1,0 +1,70 @@
+type event = { mutable cancelled : bool; mutable run : unit -> unit }
+type handle = event
+
+type t = { mutable clock : float; queue : event Event_queue.t }
+
+let create ?(start_time = 0.0) () = { clock = start_time; queue = Event_queue.create () }
+let now t = t.clock
+let pending t = Event_queue.size t.queue
+
+let at t ~time run =
+  if Float.is_nan time then invalid_arg "Sim.at: NaN time";
+  if time < t.clock then invalid_arg "Sim.at: time in the past";
+  let ev = { cancelled = false; run } in
+  Event_queue.push t.queue ~time ev;
+  ev
+
+let after t ~delay run =
+  if Float.is_nan delay || delay < 0.0 then invalid_arg "Sim.after: negative delay";
+  at t ~time:(t.clock +. delay) run
+
+let cancel ev = ev.cancelled <- true
+let cancelled ev = ev.cancelled
+
+let every t ?start ~interval f =
+  (* One master handle controls the whole periodic train; each tick
+     re-checks it so cancellation takes effect at the next occurrence. *)
+  let master = { cancelled = false; run = (fun () -> ()) } in
+  let rec tick () =
+    if not master.cancelled then begin
+      f ();
+      let dt = interval () in
+      if dt <= 0.0 then invalid_arg "Sim.every: non-positive interval";
+      ignore (at t ~time:(t.clock +. dt) tick : handle)
+    end
+  in
+  let first =
+    match start with
+    | Some s -> s
+    | None ->
+        let dt = interval () in
+        if dt <= 0.0 then invalid_arg "Sim.every: non-positive interval";
+        t.clock +. dt
+  in
+  ignore (at t ~time:first tick : handle);
+  master
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+      t.clock <- time;
+      if not ev.cancelled then ev.run ();
+      true
+
+let run_until t ~time =
+  if Float.is_nan time then invalid_arg "Sim.run_until: NaN time";
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some next when next <= time -> ignore (step t : bool)
+    | Some _ | None -> continue := false
+  done;
+  if time > t.clock then t.clock <- time
+
+let run_all ?(max_events = 100_000_000) t =
+  let count = ref 0 in
+  while step t do
+    incr count;
+    if !count > max_events then failwith "Sim.run_all: event budget exceeded"
+  done

@@ -1,0 +1,50 @@
+(** Discrete-event simulator.
+
+    A simulation is a clock plus a queue of [unit -> unit] callbacks.
+    Components schedule future work with {!at} or {!after}; {!run_until}
+    drains events in timestamp order (insertion order on ties), advancing
+    the clock monotonically.
+
+    Events can be cancelled through the handle returned by the schedulers;
+    cancellation is O(1) (the event is skipped when popped).  A periodic
+    helper covers the timer-driven padding gateways. *)
+
+type t
+
+type handle
+(** Cancellation handle for a scheduled event. *)
+
+val create : ?start_time:float -> unit -> t
+val now : t -> float
+(** Current simulation time (seconds). *)
+
+val pending : t -> int
+(** Number of scheduled (possibly cancelled) events still queued. *)
+
+val at : t -> time:float -> (unit -> unit) -> handle
+(** Schedule a callback at an absolute time.  Raises [Invalid_argument] if
+    [time] is in the past (< now). *)
+
+val after : t -> delay:float -> (unit -> unit) -> handle
+(** Schedule after a non-negative delay from now. *)
+
+val cancel : handle -> unit
+(** Idempotent; a cancelled event's callback never runs. *)
+
+val cancelled : handle -> bool
+
+val every :
+  t -> ?start:float -> interval:(unit -> float) -> (unit -> unit) -> handle
+(** [every t ~interval f] runs [f] repeatedly; after each run the next
+    occurrence is scheduled [interval ()] later (so random intervals are
+    re-drawn each period — exactly a VIT timer).  Intervals must be
+    positive.  The returned handle cancels the whole train.  [start]
+    defaults to now + interval (). *)
+
+val run_until : t -> time:float -> unit
+(** Execute all events with timestamp <= [time]; afterwards [now] = [time].
+    Callbacks may schedule more events, including at the current instant. *)
+
+val run_all : ?max_events:int -> t -> unit
+(** Drain the queue completely; [max_events] (default 100 million) guards
+    against runaway self-scheduling loops and raises [Failure]. *)

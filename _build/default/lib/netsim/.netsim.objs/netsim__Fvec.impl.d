@@ -1,0 +1,1 @@
+lib/netsim/fvec.ml: Array Stdlib

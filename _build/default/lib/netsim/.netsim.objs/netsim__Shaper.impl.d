@@ -1,0 +1,1 @@
+lib/netsim/shaper.ml: Desim Float Link Packet Queue

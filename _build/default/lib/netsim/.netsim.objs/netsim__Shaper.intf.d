@@ -1,0 +1,1 @@
+lib/netsim/shaper.mli: Desim Link Packet

@@ -1,0 +1,1 @@
+lib/netsim/tap.ml: Array Desim Fvec Link Packet

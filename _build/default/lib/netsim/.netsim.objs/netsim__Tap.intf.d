@@ -1,0 +1,1 @@
+lib/netsim/tap.mli: Desim Link Packet

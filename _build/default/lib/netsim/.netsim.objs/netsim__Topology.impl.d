@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array Link List Option Packet Prng Router Tap Traffic_gen

@@ -1,0 +1,1 @@
+lib/netsim/topology.mli: Desim Link Prng Router Tap Traffic_gen

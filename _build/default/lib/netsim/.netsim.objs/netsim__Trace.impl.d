@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Array Fun List Printf String

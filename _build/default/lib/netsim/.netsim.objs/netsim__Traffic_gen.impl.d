@@ -1,0 +1,1 @@
+lib/netsim/traffic_gen.ml: Desim Packet Prng

@@ -1,0 +1,1 @@
+lib/netsim/traffic_gen.mli: Desim Link Packet Prng

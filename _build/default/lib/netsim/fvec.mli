@@ -1,0 +1,14 @@
+(** Growable float vector — timestamp traces can run to millions of entries,
+    so boxing-free storage matters. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> float -> unit
+val get : t -> int -> float
+(** Raises on out-of-range index. *)
+
+val to_array : t -> float array
+val last : t -> float option
+val clear : t -> unit

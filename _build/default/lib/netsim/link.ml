@@ -1,0 +1,87 @@
+type port = Packet.t -> unit
+
+type t = {
+  sim : Desim.Sim.t;
+  bandwidth_bps : float;
+  propagation : float;
+  queue_limit : int option;
+  dest : port;
+  created_at : float;
+  mutable busy_until : float;
+  mutable queue_depth : int;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable busy_time : float;
+}
+
+let create sim ~bandwidth_bps ?(propagation = 0.0) ?queue_limit ~dest () =
+  if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth <= 0";
+  if propagation < 0.0 then invalid_arg "Link.create: propagation < 0";
+  (match queue_limit with
+  | Some l when l < 1 -> invalid_arg "Link.create: queue_limit < 1"
+  | _ -> ());
+  {
+    sim;
+    bandwidth_bps;
+    propagation;
+    queue_limit;
+    dest;
+    created_at = Desim.Sim.now sim;
+    busy_until = Desim.Sim.now sim;
+    queue_depth = 0;
+    sent = 0;
+    dropped = 0;
+    busy_time = 0.0;
+  }
+
+let send t pkt =
+  let now = Desim.Sim.now t.sim in
+  let over_limit =
+    match t.queue_limit with Some l -> t.queue_depth >= l | None -> false
+  in
+  if over_limit then t.dropped <- t.dropped + 1
+  else begin
+    let start = Float.max now t.busy_until in
+    let tx = float_of_int pkt.Packet.size_bytes *. 8.0 /. t.bandwidth_bps in
+    let finish = start +. tx in
+    t.busy_until <- finish;
+    t.busy_time <- t.busy_time +. tx;
+    t.queue_depth <- t.queue_depth + 1;
+    (* The packet leaves the transmitter (and the queue) at [finish]; it
+       reaches the far end one propagation delay later.  Fuse the two
+       events when there is no propagation delay — that halves the event
+       count on the hot zero-delay hops. *)
+    if t.propagation = 0.0 then
+      ignore
+        (Desim.Sim.at t.sim ~time:finish (fun () ->
+             t.queue_depth <- t.queue_depth - 1;
+             t.sent <- t.sent + 1;
+             t.dest pkt)
+          : Desim.Sim.handle)
+    else begin
+      ignore
+        (Desim.Sim.at t.sim ~time:finish (fun () ->
+             t.queue_depth <- t.queue_depth - 1;
+             t.sent <- t.sent + 1)
+          : Desim.Sim.handle);
+      let arrival = finish +. t.propagation in
+      ignore
+        (Desim.Sim.at t.sim ~time:arrival (fun () -> t.dest pkt)
+          : Desim.Sim.handle)
+    end
+  end
+
+let port t = send t
+let sent t = t.sent
+let dropped t = t.dropped
+let queue_depth t = t.queue_depth
+let busy_until t = t.busy_until
+
+let utilization t =
+  let elapsed = Desim.Sim.now t.sim -. t.created_at in
+  if elapsed <= 0.0 then 0.0
+  else
+    (* busy_time counts scheduled transmissions, possibly beyond now;
+       clip to the elapsed window. *)
+    let future = Float.max 0.0 (t.busy_until -. Desim.Sim.now t.sim) in
+    Float.min 1.0 ((t.busy_time -. future) /. elapsed)

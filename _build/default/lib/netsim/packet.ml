@@ -1,0 +1,17 @@
+type kind = Payload | Dummy | Cross
+
+type t = { id : int; kind : kind; size_bytes : int; created : float }
+
+let counter = ref 0
+
+let make ~kind ~size_bytes ~created =
+  if size_bytes <= 0 then invalid_arg "Packet.make: size_bytes <= 0";
+  incr counter;
+  { id = !counter; kind; size_bytes; created }
+
+let kind_to_string = function
+  | Payload -> "payload"
+  | Dummy -> "dummy"
+  | Cross -> "cross"
+
+let is_padded t = match t.kind with Payload | Dummy -> true | Cross -> false

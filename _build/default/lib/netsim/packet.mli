@@ -1,0 +1,24 @@
+(** Network packets.
+
+    The padded stream consists of [Payload] and [Dummy] packets of one
+    constant size (paper §3.2 assumption (3)); [Cross] packets model the
+    competing traffic that creates δ_net.  Contents are "encrypted": no
+    component downstream of the sender gateway — in particular the
+    adversary's tap — may branch on [kind] of a padded packet; the type is
+    carried only for accounting and for tests. *)
+
+type kind = Payload | Dummy | Cross
+
+type t = {
+  id : int;            (** globally unique, creation-ordered *)
+  kind : kind;
+  size_bytes : int;
+  created : float;     (** simulation time of creation *)
+}
+
+val make : kind:kind -> size_bytes:int -> created:float -> t
+(** Allocates a fresh id.  [size_bytes > 0]. *)
+
+val kind_to_string : kind -> string
+val is_padded : t -> bool
+(** True for [Payload] and [Dummy] — the stream the adversary observes. *)

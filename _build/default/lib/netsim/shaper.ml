@@ -1,0 +1,66 @@
+type t = {
+  sim : Desim.Sim.t;
+  rate_pps : float;
+  burst : float;
+  dest : Link.port;
+  queue : Packet.t Queue.t;
+  mutable tokens : float;
+  mutable last_refill : float;
+  mutable drain_scheduled : bool;
+  mutable forwarded : int;
+}
+
+let create sim ~rate_pps ?(burst = 1) ~dest () =
+  if rate_pps <= 0.0 then invalid_arg "Shaper.create: rate <= 0";
+  if burst < 1 then invalid_arg "Shaper.create: burst < 1";
+  {
+    sim;
+    rate_pps;
+    burst = float_of_int burst;
+    dest;
+    queue = Queue.create ();
+    tokens = float_of_int burst;
+    last_refill = Desim.Sim.now sim;
+    drain_scheduled = false;
+    forwarded = 0;
+  }
+
+let refill t =
+  let now = Desim.Sim.now t.sim in
+  t.tokens <-
+    Float.min t.burst (t.tokens +. ((now -. t.last_refill) *. t.rate_pps));
+  t.last_refill <- now
+
+let rec drain t =
+  refill t;
+  if (not (Queue.is_empty t.queue)) && t.tokens >= 1.0 then begin
+    t.tokens <- t.tokens -. 1.0;
+    t.forwarded <- t.forwarded + 1;
+    t.dest (Queue.pop t.queue);
+    drain t
+  end
+  else if not (Queue.is_empty t.queue) then begin
+    (* Wait exactly until the next token matures.  On wake, credit that
+       token explicitly: floating-point refill over a tiny interval can
+       round to just under 1.0 and would otherwise re-schedule a zero
+       delay forever. *)
+    let wait = (1.0 -. t.tokens) /. t.rate_pps in
+    if not t.drain_scheduled then begin
+      t.drain_scheduled <- true;
+      ignore
+        (Desim.Sim.after t.sim ~delay:wait (fun () ->
+             t.drain_scheduled <- false;
+             refill t;
+             if t.tokens < 1.0 then t.tokens <- 1.0;
+             drain t)
+          : Desim.Sim.handle)
+    end
+  end
+
+let send t pkt =
+  Queue.push pkt t.queue;
+  drain t
+
+let port t = send t
+let forwarded t = t.forwarded
+let queue_depth t = Queue.length t.queue

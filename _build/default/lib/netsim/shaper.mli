@@ -1,0 +1,27 @@
+(** Token-bucket traffic shaper.
+
+    Used in two roles: (a) as a building block for rate-enforced cross
+    traffic (a shaped aggregate perturbs the padded stream differently
+    from a free Poisson stream), and (b) as a strawman countermeasure —
+    shaping payload to a rate cap is *not* padding: it clips bursts but
+    transmits nothing when idle, so the rate remains visible.
+
+    Tokens accrue at [rate_pps] up to [burst] tokens; a packet needs one
+    token.  When the bucket is empty the packet waits in FIFO order (no
+    shaper drops — back-pressure only). *)
+
+type t
+
+val create :
+  Desim.Sim.t ->
+  rate_pps:float ->
+  ?burst:int ->
+  dest:Link.port ->
+  unit ->
+  t
+(** [burst] defaults to 1 (pure spacing).  [rate_pps > 0], [burst >= 1]. *)
+
+val send : t -> Packet.t -> unit
+val port : t -> Link.port
+val forwarded : t -> int
+val queue_depth : t -> int

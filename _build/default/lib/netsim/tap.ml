@@ -1,0 +1,37 @@
+type t = {
+  sim : Desim.Sim.t;
+  accept : Packet.t -> bool;
+  dest : Link.port;
+  times : Fvec.t;
+  sizes : Fvec.t;
+}
+
+let create sim ?(accept = Packet.is_padded) ~dest () =
+  {
+    sim;
+    accept;
+    dest;
+    times = Fvec.create ~capacity:1024 ();
+    sizes = Fvec.create ~capacity:1024 ();
+  }
+
+let port t pkt =
+  if t.accept pkt then begin
+    Fvec.push t.times (Desim.Sim.now t.sim);
+    Fvec.push t.sizes (float_of_int pkt.Packet.size_bytes)
+  end;
+  t.dest pkt
+
+let count t = Fvec.length t.times
+let timestamps t = Fvec.to_array t.times
+let sizes t = Array.map int_of_float (Fvec.to_array t.sizes)
+
+let piats t =
+  let n = Fvec.length t.times in
+  if n < 2 then [||]
+  else
+    Array.init (n - 1) (fun i -> Fvec.get t.times (i + 1) -. Fvec.get t.times i)
+
+let clear t =
+  Fvec.clear t.times;
+  Fvec.clear t.sizes

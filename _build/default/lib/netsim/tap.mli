@@ -1,0 +1,34 @@
+(** Passive observation point — the simulated equivalent of the paper's
+    Agilent J6841A line analyzer.
+
+    A tap is spliced between two components; it timestamps packets matching
+    a predicate and forwards everything untouched.  The default predicate
+    records only the padded stream (payload + dummy): the adversary cannot
+    tell those two apart (contents are encrypted) but can distinguish them
+    from unrelated cross traffic by address, as the paper's adversary
+    does when tapping the gateway-to-gateway flow. *)
+
+type t
+
+val create :
+  Desim.Sim.t -> ?accept:(Packet.t -> bool) -> dest:Link.port -> unit -> t
+(** [accept] defaults to {!Packet.is_padded}. *)
+
+val port : t -> Link.port
+val count : t -> int
+(** Number of recorded packets. *)
+
+val timestamps : t -> float array
+(** Arrival times of recorded packets, in order. *)
+
+val sizes : t -> int array
+(** Sizes (bytes) of recorded packets, in order — the other observable the
+    paper's §3.2 remark (3) assumes away by making packets constant-size;
+    exposed so the size-padding extension can mount size-based attacks. *)
+
+val piats : t -> float array
+(** Packet inter-arrival times: consecutive differences of {!timestamps}
+    (length = count - 1, empty when fewer than 2 packets). *)
+
+val clear : t -> unit
+(** Forget recorded timestamps (the tap keeps forwarding). *)

@@ -1,0 +1,95 @@
+type cross_spec = {
+  rate_pps : float;
+  size_bytes : int;
+  burst : [ `Poisson | `On_off of float * float * float option ];
+}
+
+type hop_spec = {
+  bandwidth_bps : float;
+  propagation : float;
+  queue_limit : int option;
+  cross : cross_spec option;
+}
+
+let default_hop ~bandwidth_bps =
+  { bandwidth_bps; propagation = 0.0; queue_limit = None; cross = None }
+
+type t = {
+  entry : Link.port;
+  tap : Tap.t;
+  routers : Router.t array;
+  cross_sources : Traffic_gen.t list;
+  sink_count : unit -> int;
+}
+
+let start_cross sim ~rng ~spec ~dest =
+  match spec.burst with
+  | `Poisson ->
+      Traffic_gen.poisson sim ~rng ~rate_pps:spec.rate_pps
+        ~size_bytes:spec.size_bytes ~kind:Packet.Cross ~dest ()
+  | `On_off (mean_on, mean_off, pareto_shape) ->
+      (* rate_on is scaled up so the long-run average matches rate_pps. *)
+      let duty = mean_on /. (mean_on +. mean_off) in
+      Traffic_gen.on_off sim ~rng ~rate_on_pps:(spec.rate_pps /. duty) ~mean_on
+        ~mean_off ?pareto_shape ~size_bytes:spec.size_bytes ~kind:Packet.Cross
+        ~dest ()
+
+let chain sim ~rng ~hops ~tap_position ?dest () =
+  let n = Array.length hops in
+  if tap_position < 0 || tap_position > n then
+    invalid_arg "Topology.chain: tap_position out of range";
+  let received = ref 0 in
+  let sink pkt =
+    if Packet.is_padded pkt then incr received;
+    match dest with Some d -> d pkt | None -> ()
+  in
+  (* Build back to front so each hop knows its downstream port. *)
+  let routers = Array.make n None in
+  let cross_sources = ref [] in
+  let tap = ref None in
+  let downstream = ref sink in
+  for i = n - 1 downto 0 do
+    (* Tap in front of hop i+1 (i.e. after hop i) is installed when we are
+       at position i+1 in the walk; handle the "after last hop" spot first. *)
+    if tap_position = i + 1 then begin
+      let t = Tap.create sim ~dest:!downstream () in
+      tap := Some t;
+      downstream := Tap.port t
+    end;
+    let spec = hops.(i) in
+    let router =
+      Router.create sim ~bandwidth_bps:spec.bandwidth_bps
+        ~propagation:spec.propagation ?queue_limit:spec.queue_limit
+        ~dest:!downstream ()
+    in
+    routers.(i) <- Some router;
+    (match spec.cross with
+    | None -> ()
+    | Some cross ->
+        let child = Prng.Rng.split rng in
+        cross_sources :=
+          start_cross sim ~rng:child ~spec:cross ~dest:(Router.port router)
+          :: !cross_sources);
+    downstream := Router.port router
+  done;
+  if tap_position = 0 then begin
+    let t = Tap.create sim ~dest:!downstream () in
+    tap := Some t;
+    downstream := Tap.port t
+  end;
+  let tap =
+    match !tap with
+    | Some t -> t
+    | None ->
+        (* Unreachable: every valid position installs a tap. *)
+        assert false
+  in
+  {
+    entry = !downstream;
+    tap;
+    routers = Array.map Option.get routers;
+    cross_sources = !cross_sources;
+    sink_count = (fun () -> !received);
+  }
+
+let stop_cross t = List.iter Traffic_gen.stop t.cross_sources

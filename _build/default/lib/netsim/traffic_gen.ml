@@ -1,0 +1,115 @@
+type t = { mutable stopped : bool; mutable generated : int }
+
+let stop t = t.stopped <- true
+let generated t = t.generated
+
+let emit sim t ~size_bytes ~kind ~dest =
+  t.generated <- t.generated + 1;
+  dest (Packet.make ~kind ~size_bytes ~created:(Desim.Sim.now sim))
+
+let spawn sim t ~next_delay ~action =
+  (* Generic self-rescheduling source skeleton. *)
+  let rec tick () =
+    if not t.stopped then begin
+      action ();
+      ignore (Desim.Sim.after sim ~delay:(next_delay ()) tick : Desim.Sim.handle)
+    end
+  in
+  ignore (Desim.Sim.after sim ~delay:(next_delay ()) tick : Desim.Sim.handle)
+
+let cbr sim ~rate_pps ~size_bytes ~kind ~dest () =
+  if rate_pps <= 0.0 then invalid_arg "Traffic_gen.cbr: rate <= 0";
+  let t = { stopped = false; generated = 0 } in
+  let period = 1.0 /. rate_pps in
+  spawn sim t
+    ~next_delay:(fun () -> period)
+    ~action:(fun () -> emit sim t ~size_bytes ~kind ~dest);
+  t
+
+let poisson sim ~rng ~rate_pps ~size_bytes ~kind ~dest () =
+  if rate_pps <= 0.0 then invalid_arg "Traffic_gen.poisson: rate <= 0";
+  let t = { stopped = false; generated = 0 } in
+  spawn sim t
+    ~next_delay:(fun () -> Prng.Sampler.exponential rng ~rate:rate_pps)
+    ~action:(fun () -> emit sim t ~size_bytes ~kind ~dest);
+  t
+
+let poisson_sized sim ~rng ~rate_pps ~size_of ~kind ~dest () =
+  if rate_pps <= 0.0 then invalid_arg "Traffic_gen.poisson_sized: rate <= 0";
+  let t = { stopped = false; generated = 0 } in
+  spawn sim t
+    ~next_delay:(fun () -> Prng.Sampler.exponential rng ~rate:rate_pps)
+    ~action:(fun () -> emit sim t ~size_bytes:(size_of rng) ~kind ~dest);
+  t
+
+let on_off sim ~rng ~rate_on_pps ~mean_on ~mean_off ?pareto_shape ~size_bytes
+    ~kind ~dest () =
+  if rate_on_pps <= 0.0 then invalid_arg "Traffic_gen.on_off: rate <= 0";
+  if mean_on <= 0.0 || mean_off <= 0.0 then
+    invalid_arg "Traffic_gen.on_off: period means must be positive";
+  let draw_period mean =
+    match pareto_shape with
+    | None -> Prng.Sampler.exponential rng ~rate:(1.0 /. mean)
+    | Some shape ->
+        if shape <= 1.0 then invalid_arg "Traffic_gen.on_off: pareto_shape <= 1";
+        (* Pareto scale chosen so the mean equals [mean]. *)
+        let scale = mean *. (shape -. 1.0) /. shape in
+        Prng.Sampler.pareto rng ~shape ~scale
+  in
+  let t = { stopped = false; generated = 0 } in
+  (* Alternate phases; within ON, Poisson emission until the phase budget
+     is exhausted. *)
+  let rec start_on () =
+    if not t.stopped then begin
+      let phase_end = Desim.Sim.now sim +. draw_period mean_on in
+      let rec burst () =
+        if not t.stopped then begin
+          if Desim.Sim.now sim < phase_end then begin
+            emit sim t ~size_bytes ~kind ~dest;
+            ignore
+              (Desim.Sim.after sim
+                 ~delay:(Prng.Sampler.exponential rng ~rate:rate_on_pps)
+                 burst
+                : Desim.Sim.handle)
+          end
+          else start_off ()
+        end
+      in
+      ignore
+        (Desim.Sim.after sim
+           ~delay:(Prng.Sampler.exponential rng ~rate:rate_on_pps)
+           burst
+          : Desim.Sim.handle)
+    end
+  and start_off () =
+    if not t.stopped then
+      ignore
+        (Desim.Sim.after sim ~delay:(draw_period mean_off) start_on
+          : Desim.Sim.handle)
+  in
+  start_on ();
+  t
+
+let modulated_poisson sim ~rng ~rate_fn ~rate_max ~size_bytes ~kind ~dest () =
+  if rate_max <= 0.0 then invalid_arg "Traffic_gen.modulated_poisson: rate_max <= 0";
+  let t = { stopped = false; generated = 0 } in
+  (* Lewis–Shedler thinning: candidate events at rate_max, accepted with
+     probability rate_fn(now)/rate_max. *)
+  let rec tick () =
+    if not t.stopped then begin
+      let rate = rate_fn (Desim.Sim.now sim) in
+      if rate < 0.0 || rate > rate_max then
+        invalid_arg "Traffic_gen.modulated_poisson: rate_fn out of [0, rate_max]";
+      if Prng.Rng.float rng < rate /. rate_max then
+        emit sim t ~size_bytes ~kind ~dest;
+      ignore
+        (Desim.Sim.after sim
+           ~delay:(Prng.Sampler.exponential rng ~rate:rate_max)
+           tick
+          : Desim.Sim.handle)
+    end
+  in
+  ignore
+    (Desim.Sim.after sim ~delay:(Prng.Sampler.exponential rng ~rate:rate_max) tick
+      : Desim.Sim.handle);
+  t

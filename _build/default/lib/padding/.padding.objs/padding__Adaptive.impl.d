@@ -1,0 +1,1 @@
+lib/padding/adaptive.ml: Desim Float Jitter Netsim Prng Queue

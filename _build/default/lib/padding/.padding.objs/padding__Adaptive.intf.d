@@ -1,0 +1,1 @@
+lib/padding/adaptive.mli: Desim Jitter Netsim Prng

@@ -1,0 +1,1 @@
+lib/padding/gateway.ml: Desim Float Jitter Netsim Prng Queue Timer

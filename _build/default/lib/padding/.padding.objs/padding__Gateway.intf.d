@@ -1,0 +1,1 @@
+lib/padding/gateway.mli: Desim Jitter Netsim Prng Timer

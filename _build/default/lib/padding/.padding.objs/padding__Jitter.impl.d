@@ -1,0 +1,1 @@
+lib/padding/jitter.ml: Float Prng

@@ -1,0 +1,1 @@
+lib/padding/jitter.mli: Prng

@@ -1,0 +1,1 @@
+lib/padding/mix.ml: Array Desim Netsim Prng Queue

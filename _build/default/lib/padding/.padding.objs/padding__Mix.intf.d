@@ -1,0 +1,1 @@
+lib/padding/mix.mli: Desim Netsim Prng

@@ -1,0 +1,1 @@
+lib/padding/qos.mli:

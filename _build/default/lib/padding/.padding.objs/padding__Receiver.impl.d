@@ -1,0 +1,1 @@
+lib/padding/receiver.ml: Desim Netsim Stats

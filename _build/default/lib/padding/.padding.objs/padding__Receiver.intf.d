@@ -1,0 +1,1 @@
+lib/padding/receiver.mli: Desim Netsim

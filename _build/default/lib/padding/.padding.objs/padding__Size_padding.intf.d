@@ -1,0 +1,1 @@
+lib/padding/size_padding.mli: Netsim

@@ -1,0 +1,1 @@
+lib/padding/timer.ml: Prng

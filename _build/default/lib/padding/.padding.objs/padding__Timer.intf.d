@@ -1,0 +1,1 @@
+lib/padding/timer.mli: Prng

@@ -1,0 +1,113 @@
+type t = {
+  sim : Desim.Sim.t;
+  rng : Prng.Rng.t;
+  min_period : float;
+  max_period : float;
+  window : float;
+  target_queue : float;
+  jitter : Jitter.t;
+  packet_size : int;
+  dest : Netsim.Link.port;
+  queue : Netsim.Packet.t Queue.t;
+  arrivals : float Queue.t;  (* payload arrival times within the window *)
+  mutable period : float;
+  mutable last_emit : float;
+  mutable payload_sent : int;
+  mutable dummy_sent : int;
+  mutable stopped : bool;
+}
+
+let estimate_rate t =
+  let now = Desim.Sim.now t.sim in
+  while
+    (not (Queue.is_empty t.arrivals)) && Queue.peek t.arrivals < now -. t.window
+  do
+    ignore (Queue.pop t.arrivals : float)
+  done;
+  float_of_int (Queue.length t.arrivals) /. t.window
+
+let adapt t =
+  (* Aim the send rate slightly above the estimated payload rate so the
+     queue stays near target_queue; clamp to the configured band. *)
+  let rate = estimate_rate t in
+  let backlog = float_of_int (Queue.length t.queue) in
+  let pressure = 1.0 +. (0.5 *. (backlog -. t.target_queue)) in
+  let desired_rate = Float.max 1.0 (rate *. Float.max pressure 0.1) in
+  let p = 1.0 /. desired_rate in
+  t.period <- Float.min t.max_period (Float.max t.min_period p)
+
+let rec fire t () =
+  if not t.stopped then begin
+    let now = Desim.Sim.now t.sim in
+    let sends_payload = not (Queue.is_empty t.queue) in
+    let ctx =
+      {
+        Jitter.fire_time = now;
+        sends_payload;
+        arrivals_in_window = 0;
+      }
+    in
+    let latency = Jitter.latency t.jitter t.rng ctx in
+    let emit_time = Float.max (now +. latency) (t.last_emit +. 1e-12) in
+    t.last_emit <- emit_time;
+    let pkt =
+      if sends_payload then begin
+        t.payload_sent <- t.payload_sent + 1;
+        Queue.pop t.queue
+      end
+      else begin
+        t.dummy_sent <- t.dummy_sent + 1;
+        Netsim.Packet.make ~kind:Netsim.Packet.Dummy
+          ~size_bytes:t.packet_size ~created:now
+      end
+    in
+    ignore
+      (Desim.Sim.at t.sim ~time:emit_time (fun () -> t.dest pkt)
+        : Desim.Sim.handle);
+    adapt t;
+    ignore (Desim.Sim.after t.sim ~delay:t.period (fire t) : Desim.Sim.handle)
+  end
+
+let create sim ~rng ?(min_period = 0.010) ?(max_period = 0.040)
+    ?(window = 1.0) ?(target_queue = 0.5) ~jitter ?(packet_size = 500) ~dest
+    () =
+  if min_period <= 0.0 || max_period < min_period then
+    invalid_arg "Adaptive.create: bad period band";
+  if window <= 0.0 then invalid_arg "Adaptive.create: window <= 0";
+  let t =
+    {
+      sim;
+      rng;
+      min_period;
+      max_period;
+      window;
+      target_queue;
+      jitter;
+      packet_size;
+      dest;
+      queue = Queue.create ();
+      arrivals = Queue.create ();
+      period = max_period;
+      last_emit = Desim.Sim.now sim;
+      payload_sent = 0;
+      dummy_sent = 0;
+      stopped = false;
+    }
+  in
+  ignore (Desim.Sim.after sim ~delay:t.period (fire t) : Desim.Sim.handle);
+  t
+
+let input t pkt =
+  if pkt.Netsim.Packet.kind <> Netsim.Packet.Payload then
+    invalid_arg "Adaptive.input: only payload packets";
+  Queue.push pkt t.queue;
+  Queue.push (Desim.Sim.now t.sim) t.arrivals
+
+let stop t = t.stopped <- true
+let payload_sent t = t.payload_sent
+let dummy_sent t = t.dummy_sent
+let current_period t = t.period
+
+let overhead t =
+  let total = t.payload_sent + t.dummy_sent in
+  if total = 0 then 0.0 else float_of_int t.dummy_sent /. float_of_int total

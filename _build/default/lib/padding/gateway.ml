@@ -1,0 +1,112 @@
+type t = {
+  sim : Desim.Sim.t;
+  rng : Prng.Rng.t;
+  timer : Timer.law;
+  jitter : Jitter.t;
+  packet_size : int;
+  queue_limit : int option;
+  dest : Netsim.Link.port;
+  queue : Netsim.Packet.t Queue.t;
+  recent_arrivals : float Queue.t;
+  mutable last_emit : float;
+  mutable payload_sent : int;
+  mutable dummy_sent : int;
+  mutable payload_dropped : int;
+  mutable fires : int;
+  mutable timer_handle : Desim.Sim.handle option;
+}
+
+let on_fire t () =
+  let now = Desim.Sim.now t.sim in
+  t.fires <- t.fires + 1;
+  (* Count payload NIC interrupts landing in the blocking window before
+     this fire; prune older entries (they can no longer block anything). *)
+  let window_start = now -. Jitter.irq_window in
+  while
+    (not (Queue.is_empty t.recent_arrivals))
+    && Queue.peek t.recent_arrivals < window_start
+  do
+    ignore (Queue.pop t.recent_arrivals : float)
+  done;
+  let arrivals_in_window = Queue.length t.recent_arrivals in
+  let sends_payload = not (Queue.is_empty t.queue) in
+  let ctx = { Jitter.fire_time = now; sends_payload; arrivals_in_window } in
+  let latency = Jitter.latency t.jitter t.rng ctx in
+  (* The interrupt routine runs after [latency]; emissions never reorder
+     because the timer period is orders of magnitude above the latency, but
+     we enforce monotonicity anyway so a pathological parameterization
+     cannot produce negative PIATs. *)
+  let emit_time = Float.max (now +. latency) (t.last_emit +. 1e-12) in
+  t.last_emit <- emit_time;
+  let pkt =
+    if sends_payload then begin
+      t.payload_sent <- t.payload_sent + 1;
+      Queue.pop t.queue
+    end
+    else begin
+      t.dummy_sent <- t.dummy_sent + 1;
+      Netsim.Packet.make ~kind:Netsim.Packet.Dummy ~size_bytes:t.packet_size
+        ~created:now
+    end
+  in
+  ignore (Desim.Sim.at t.sim ~time:emit_time (fun () -> t.dest pkt) : Desim.Sim.handle)
+
+let create sim ~rng ~timer ~jitter ?(packet_size = 500) ?queue_limit ~dest () =
+  Timer.validate timer;
+  if packet_size <= 0 then invalid_arg "Gateway.create: packet_size <= 0";
+  (match queue_limit with
+  | Some l when l < 1 -> invalid_arg "Gateway.create: queue_limit < 1"
+  | _ -> ());
+  let t =
+    {
+      sim;
+      rng;
+      timer;
+      jitter;
+      packet_size;
+      queue_limit;
+      dest;
+      queue = Queue.create ();
+      recent_arrivals = Queue.create ();
+      last_emit = Desim.Sim.now sim;
+      payload_sent = 0;
+      dummy_sent = 0;
+      payload_dropped = 0;
+      fires = 0;
+      timer_handle = None;
+    }
+  in
+  let handle =
+    Desim.Sim.every sim ~interval:(fun () -> Timer.draw timer rng) (on_fire t)
+  in
+  t.timer_handle <- Some handle;
+  t
+
+let input t pkt =
+  if pkt.Netsim.Packet.kind <> Netsim.Packet.Payload then
+    invalid_arg "Gateway.input: only payload packets enter the sender gateway";
+  let over =
+    match t.queue_limit with
+    | Some l -> Queue.length t.queue >= l
+    | None -> false
+  in
+  (* The NIC interrupt fires for every arriving packet, even one the queue
+     then drops — record it before the capacity check. *)
+  Queue.push (Desim.Sim.now t.sim) t.recent_arrivals;
+  if over then t.payload_dropped <- t.payload_dropped + 1
+  else Queue.push pkt t.queue
+
+let stop t =
+  match t.timer_handle with
+  | Some h -> Desim.Sim.cancel h
+  | None -> ()
+
+let payload_sent t = t.payload_sent
+let dummy_sent t = t.dummy_sent
+let payload_dropped t = t.payload_dropped
+let queue_length t = Queue.length t.queue
+let fires t = t.fires
+
+let overhead t =
+  let total = t.payload_sent + t.dummy_sent in
+  if total = 0 then 0.0 else float_of_int t.dummy_sent /. float_of_int total

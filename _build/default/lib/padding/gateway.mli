@@ -1,0 +1,44 @@
+(** Sender security gateway (the paper's GW1, §3.2).
+
+    Incoming payload packets from the protected subnet are queued.  A timer
+    fires at intervals drawn from a {!Timer.law}; the interrupt routine then
+    sends the head-of-queue payload packet if one is waiting, otherwise a
+    dummy packet, after a {!Jitter}-distributed processing latency.  Every
+    emitted packet has the same constant size, so the wire carries one
+    indistinguishable, (nominally) constant-rate stream regardless of the
+    payload behind it. *)
+
+type t
+
+val create :
+  Desim.Sim.t ->
+  rng:Prng.Rng.t ->
+  timer:Timer.law ->
+  jitter:Jitter.t ->
+  ?packet_size:int ->
+  ?queue_limit:int ->
+  dest:Netsim.Link.port ->
+  unit ->
+  t
+(** [packet_size] defaults to 500 bytes; [queue_limit] bounds the payload
+    queue (default unbounded; overflow drops payload packets and counts
+    them).  The timer starts at creation. *)
+
+val input : t -> Netsim.Link.port
+(** Port on which payload traffic from the protected subnet arrives.
+    Raises [Invalid_argument] if fed a non-payload packet. *)
+
+val stop : t -> unit
+(** Stop the timer permanently. *)
+
+val payload_sent : t -> int
+val dummy_sent : t -> int
+val payload_dropped : t -> int
+val queue_length : t -> int
+
+val overhead : t -> float
+(** Fraction of emitted packets that are dummies — the bandwidth price of
+    the countermeasure. *)
+
+val fires : t -> int
+(** Timer fires so far (= packets emitted). *)

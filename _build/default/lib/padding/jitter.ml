@@ -1,0 +1,67 @@
+type context = {
+  fire_time : float;
+  sends_payload : bool;
+  arrivals_in_window : int;
+}
+
+type t =
+  | None_
+  | Parametric of { mu : float; sigma : float }
+  | Mechanistic of {
+      context_switch_mu : float;
+      context_switch_sigma : float;
+      payload_extra_mu : float;
+      payload_extra_sigma : float;
+      irq_delay_mean : float;
+    }
+
+let irq_window = 50e-6
+
+let none = None_
+
+let parametric ~mu ~sigma =
+  if mu < 0.0 then invalid_arg "Jitter.parametric: mu < 0";
+  if sigma < 0.0 then invalid_arg "Jitter.parametric: sigma < 0";
+  Parametric { mu; sigma }
+
+let mechanistic ?(context_switch_mu = 3e-6) ?(context_switch_sigma = 1.0e-6)
+    ?(payload_extra_mu = 4e-6) ?(payload_extra_sigma = 1.2e-6)
+    ?(irq_delay_mean = 2e-6) () =
+  if
+    context_switch_mu < 0.0 || context_switch_sigma < 0.0
+    || payload_extra_mu < 0.0 || payload_extra_sigma < 0.0
+    || irq_delay_mean < 0.0
+  then invalid_arg "Jitter.mechanistic: negative parameter";
+  Mechanistic
+    {
+      context_switch_mu;
+      context_switch_sigma;
+      payload_extra_mu;
+      payload_extra_sigma;
+      irq_delay_mean;
+    }
+
+let latency t rng ctx =
+  match t with
+  | None_ -> 0.0
+  | Parametric { mu; sigma } ->
+      Float.max 0.0 (Prng.Sampler.normal rng ~mu ~sigma)
+  | Mechanistic m ->
+      let base =
+        Prng.Sampler.normal rng ~mu:m.context_switch_mu
+          ~sigma:m.context_switch_sigma
+      in
+      let path =
+        if ctx.sends_payload then
+          Prng.Sampler.normal rng ~mu:m.payload_extra_mu
+            ~sigma:m.payload_extra_sigma
+        else 0.0
+      in
+      let blocking = ref 0.0 in
+      if m.irq_delay_mean > 0.0 then
+        for _ = 1 to ctx.arrivals_in_window do
+          blocking :=
+            !blocking
+            +. Prng.Sampler.exponential rng ~rate:(1.0 /. m.irq_delay_mean)
+        done;
+      Float.max 0.0 (base +. path +. !blocking)

@@ -1,0 +1,59 @@
+(** Gateway disturbance models (the paper's δ_gw).
+
+    The paper traces δ_gw to two OS-level effects on the TimeSys Linux
+    gateway (§4.1.2): (1) random context-switch latency before the timer
+    interrupt routine runs, and (2) the timer interrupt being blocked by
+    NIC interrupts raised by incoming payload packets.  Both make the
+    *actual* send instant lag the scheduled fire time by a small random
+    amount whose variance grows with the payload rate — the information
+    leak the whole paper is about.
+
+    Two models are provided:
+
+    - {!mechanistic}: reproduces the causal chain.  Every send pays a base
+      context-switch latency; sends that transmit a *payload* packet pay an
+      extra dequeue-path cost; payload arrivals landing within the
+      interrupt window before the fire each add an exponential blocking
+      delay.  Nothing here is told the payload rate — the rate dependence
+      emerges from the packet process itself.
+
+    - {!parametric}: directly N(mu, sigma²)-distributed latency with a
+      caller-chosen sigma, clipped at 0.  Used to validate the closed-form
+      theory under its exact assumptions, and for ablations.
+
+    The model is consulted once per timer fire. *)
+
+type t
+
+type context = {
+  fire_time : float;            (** scheduled timer fire instant *)
+  sends_payload : bool;         (** this fire transmits payload, not dummy *)
+  arrivals_in_window : int;     (** payload arrivals within the interrupt
+                                    window before the fire *)
+}
+
+val latency : t -> Prng.Rng.t -> context -> float
+(** Random send latency (>= 0) for one timer fire. *)
+
+val none : t
+(** Zero latency — an ideal gateway (perfect secrecy baseline). *)
+
+val parametric : mu:float -> sigma:float -> t
+(** Normal latency clipped at 0; [mu >= 0], [sigma >= 0]. *)
+
+val mechanistic :
+  ?context_switch_mu:float ->
+  ?context_switch_sigma:float ->
+  ?payload_extra_mu:float ->
+  ?payload_extra_sigma:float ->
+  ?irq_delay_mean:float ->
+  unit ->
+  t
+(** Defaults are the repository's calibration (seconds): context switch
+    3e-6 ± 1.0e-6, payload path extra 4e-6 ± 1.2e-6, IRQ blocking mean
+    2e-6 per arrival in window.  See {!Calibration} notes in
+    [lib/scenarios] for how these map to the paper's Fig. 4(a) spread. *)
+
+val irq_window : float
+(** Width of the pre-fire window in which a payload arrival's NIC interrupt
+    blocks the timer interrupt (50 µs). *)

@@ -1,0 +1,39 @@
+(** Threshold mix gateway — the Chaum (1981) baseline the paper's related
+    work starts from (§2).
+
+    The mix collects payload packets and flushes a batch when either
+    [threshold] packets are queued or [timeout] has elapsed since the
+    first packet of the batch arrived; a timed-out batch is completed to
+    the threshold with dummies so every flush is exactly [threshold]
+    packets (the "users send dummy messages" convention).  Batching hides
+    *which* message is which, but the flush epochs still track the payload
+    rate — the reason rate-hiding needs link padding on top of mixing,
+    which is precisely the paper's subject.  This module exists to measure
+    that leak with the same adversary machinery. *)
+
+type t
+
+val create :
+  Desim.Sim.t ->
+  rng:Prng.Rng.t ->
+  ?threshold:int ->
+  ?timeout:float ->
+  ?flush_spacing:float ->
+  ?packet_size:int ->
+  dest:Netsim.Link.port ->
+  unit ->
+  t
+(** Defaults: threshold 8 packets, timeout 500 ms, 1 ms spacing between
+    the packets of a flushed batch.  [threshold >= 1], [timeout > 0],
+    [flush_spacing >= 0]. *)
+
+val input : t -> Netsim.Link.port
+(** Payload entry; raises on non-payload packets. *)
+
+val stop : t -> unit
+val flushes : t -> int
+val payload_sent : t -> int
+val dummy_sent : t -> int
+
+val overhead : t -> float
+(** Dummy fraction of emitted packets. *)

@@ -1,0 +1,23 @@
+(** Receiver security gateway (the paper's GW2).
+
+    Strips dummy packets, forwards payload into the protected subnet, and
+    keeps the QoS accounting (payload latency) that the paper's NetCamo
+    line of work cares about.  Cross packets must have been diverted
+    upstream; receiving one raises, as it would indicate a mis-wired
+    topology. *)
+
+type t
+
+val create : Desim.Sim.t -> ?dest:(Netsim.Packet.t -> unit) -> unit -> t
+(** [dest] receives payload packets after dummy stripping (default: drop
+    into a counter-only sink). *)
+
+val port : t -> Netsim.Link.port
+val payload_received : t -> int
+val dummy_received : t -> int
+
+val mean_payload_latency : t -> float
+(** Mean of (arrival time - creation time) over payload packets; 0.0 when
+    none arrived yet. *)
+
+val max_payload_latency : t -> float

@@ -1,0 +1,18 @@
+let total_padding = ref 0
+
+let pad_port ~target ~dest =
+  if target <= 0 then invalid_arg "Size_padding.pad_port: target <= 0";
+  fun pkt ->
+    let size = pkt.Netsim.Packet.size_bytes in
+    if size > target then
+      invalid_arg "Size_padding: packet exceeds the padding target";
+    if size = target then dest pkt
+    else begin
+      total_padding := !total_padding + (target - size);
+      dest
+        (Netsim.Packet.make ~kind:pkt.Netsim.Packet.kind ~size_bytes:target
+           ~created:pkt.Netsim.Packet.created)
+    end
+
+let padded_bytes () = !total_padding
+let reset_padded_bytes () = total_padding := 0

@@ -1,0 +1,82 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64 step: used to expand the seed into the four xoshiro words and
+   to derive split children.  Constants from Steele, Lea & Flood (2014). *)
+let splitmix_next state =
+  let open Int64 in
+  let z = add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_sm64 state =
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  (* xoshiro must not be seeded with the all-zero state; SplitMix64 cannot
+     produce four zero outputs in a row, so this is safe by construction. *)
+  { s0; s1; s2; s3 }
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  of_sm64 state
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  of_sm64 state
+
+let float t =
+  (* 53 high bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let rec float_pos t =
+  let u = float t in
+  if u > 0.0 then u else float_pos t
+
+let float_range t ~lo ~hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float t)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let max64 = Int64.max_int in
+  let limit = Int64.sub max64 (Int64.rem max64 bound64) in
+  let rec draw () =
+    let v = Int64.shift_right_logical (bits64 t) 1 in
+    if v >= limit then draw () else Int64.to_int (Int64.rem v bound64)
+  in
+  draw ()
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let seed_of_string s =
+  (* FNV-1a, folded to 62 bits to stay positive in an OCaml int. *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Int64.to_int (Int64.shift_right_logical !h 2)

@@ -1,0 +1,91 @@
+let uniform rng ~lo ~hi = Rng.float_range rng ~lo ~hi
+
+(* Marsaglia polar method.  We deliberately do not cache the second variate:
+   the cache would make output order depend on call history, which breaks
+   reproducibility when generators are split mid-stream. *)
+let rec standard_normal rng =
+  let u = Rng.float_range rng ~lo:(-1.0) ~hi:1.0 in
+  let v = Rng.float_range rng ~lo:(-1.0) ~hi:1.0 in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1.0 || s = 0.0 then standard_normal rng
+  else u *. sqrt (-2.0 *. log s /. s)
+
+let normal rng ~mu ~sigma =
+  if sigma < 0.0 then invalid_arg "Sampler.normal: sigma < 0";
+  if sigma = 0.0 then mu else mu +. (sigma *. standard_normal rng)
+
+let truncated_normal_pos rng ~mu ~sigma =
+  if mu <= 0.0 then invalid_arg "Sampler.truncated_normal_pos: mu <= 0";
+  if sigma < 0.0 then invalid_arg "Sampler.truncated_normal_pos: sigma < 0";
+  if sigma = 0.0 then mu
+  else
+    let rec draw attempts =
+      (* For mu/sigma >= ~1e-2 plain rejection terminates fast; the fuse
+         guards against pathological parameterizations. *)
+      if attempts > 10_000 then mu
+      else
+        let x = normal rng ~mu ~sigma in
+        if x > 0.0 then x else draw (attempts + 1)
+    in
+    draw 0
+
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Sampler.exponential: rate <= 0";
+  -.log (Rng.float_pos rng) /. rate
+
+let pareto rng ~shape ~scale =
+  if shape <= 0.0 then invalid_arg "Sampler.pareto: shape <= 0";
+  if scale <= 0.0 then invalid_arg "Sampler.pareto: scale <= 0";
+  scale /. (Rng.float_pos rng ** (1.0 /. shape))
+
+let poisson rng ~mean =
+  if mean < 0.0 then invalid_arg "Sampler.poisson: mean < 0";
+  if mean = 0.0 then 0
+  else if mean > 60.0 then
+    (* Normal approximation; adequate for the cross-traffic batch sizes
+       used in the scenarios and avoids O(mean) work. *)
+    let x = normal rng ~mu:mean ~sigma:(sqrt mean) in
+    Stdlib.max 0 (int_of_float (Float.round x))
+  else
+    let limit = exp (-.mean) in
+    let rec count k prod =
+      let prod = prod *. Rng.float rng in
+      if prod <= limit then k else count (k + 1) prod
+    in
+    count 0 1.0
+
+let geometric rng ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Sampler.geometric: p out of (0,1]";
+  if p = 1.0 then 0
+  else
+    let u = Rng.float_pos rng in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+let bernoulli rng ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Sampler.bernoulli: p out of [0,1]";
+  Rng.float rng < p
+
+let categorical rng ~weights =
+  let total = Array.fold_left (fun acc w ->
+      if w < 0.0 then invalid_arg "Sampler.categorical: negative weight";
+      acc +. w) 0.0 weights
+  in
+  if total <= 0.0 then invalid_arg "Sampler.categorical: no positive weight";
+  let x = Rng.float rng *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let shuffle rng arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng ~bound:(i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,40 @@
+(** Random-variate samplers built on {!Rng}.
+
+    Each sampler documents its algorithm and parameter constraints; all
+    raise [Invalid_argument] on parameter violations.  Time quantities in
+    the simulator are seconds, so these are plain float samplers. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform on [lo, hi). *)
+
+val normal : Rng.t -> mu:float -> sigma:float -> float
+(** Gaussian via Marsaglia's polar method. [sigma >= 0]. *)
+
+val truncated_normal_pos : Rng.t -> mu:float -> sigma:float -> float
+(** Gaussian conditioned on being strictly positive, by rejection.  Used for
+    VIT timer intervals, which must be positive.  Requires [mu > 0]; for the
+    regimes used here (mu >> sigma or mu ~ sigma) rejection is cheap. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with rate [rate] (mean 1/rate) by inversion. [rate > 0]. *)
+
+val pareto : Rng.t -> shape:float -> scale:float -> float
+(** Pareto type-I: support [scale, inf), P(X > x) = (scale/x)^shape.
+    [shape > 0], [scale > 0].  Heavy-tailed on/off periods. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** Poisson counts.  Knuth multiplication for small means, normal
+    approximation with continuity correction for [mean > 60]. [mean >= 0]. *)
+
+val geometric : Rng.t -> p:float -> int
+(** Number of failures before first success, [0 < p <= 1]. *)
+
+val bernoulli : Rng.t -> p:float -> bool
+(** True with probability [p], [0 <= p <= 1]. *)
+
+val categorical : Rng.t -> weights:float array -> int
+(** Index drawn proportionally to non-negative [weights] (need not sum
+    to 1; at least one must be positive). *)
+
+val shuffle : Rng.t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,1 @@
+lib/scenarios/ablations.ml: Adversary Analytical Array Calibration Fig6 Float List Padding Printf Stats Stdlib System Table Workload

@@ -1,0 +1,1 @@
+lib/scenarios/ablations.mli: Format Workload

@@ -1,0 +1,1 @@
+lib/scenarios/ablations_ext.ml: Adversary Analytical Array Calibration Desim Float List Netsim Padding Printf Prng Stdlib System Table Workload

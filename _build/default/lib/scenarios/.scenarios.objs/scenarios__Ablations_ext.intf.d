@@ -1,0 +1,1 @@
+lib/scenarios/ablations_ext.mli: Format

@@ -1,0 +1,1 @@
+lib/scenarios/calibration.ml: Format Option Padding Stats System

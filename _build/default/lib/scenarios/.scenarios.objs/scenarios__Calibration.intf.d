@@ -1,0 +1,1 @@
+lib/scenarios/calibration.mli: Format Padding

@@ -1,0 +1,1 @@
+lib/scenarios/diurnal.ml: Float

@@ -1,0 +1,1 @@
+lib/scenarios/fig4a.ml: Array Calibration Filename Float Format List Printf Stats Stdlib System Table Workload

@@ -1,0 +1,1 @@
+lib/scenarios/fig4a.mli: Format

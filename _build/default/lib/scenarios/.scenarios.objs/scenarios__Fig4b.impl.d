@@ -1,0 +1,1 @@
+lib/scenarios/fig4b.ml: Adversary Filename List Printf Stdlib System Table Workload

@@ -1,0 +1,1 @@
+lib/scenarios/fig4b.mli: Format Padding Workload

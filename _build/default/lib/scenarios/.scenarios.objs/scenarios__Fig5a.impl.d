@@ -1,0 +1,1 @@
+lib/scenarios/fig5a.ml: Adversary Analytical Calibration Filename List Padding Printf Stdlib System Table Workload

@@ -1,0 +1,1 @@
+lib/scenarios/fig5a.mli: Calibration Format Padding Workload

@@ -1,0 +1,1 @@
+lib/scenarios/fig5b.ml: Analytical Calibration Filename List Printf Table

@@ -1,0 +1,1 @@
+lib/scenarios/fig5b.mli: Calibration Format

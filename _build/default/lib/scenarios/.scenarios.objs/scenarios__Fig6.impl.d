@@ -1,0 +1,1 @@
+lib/scenarios/fig6.ml: Adversary Calibration Filename List Netsim Printf Stdlib System Table Workload

@@ -1,0 +1,1 @@
+lib/scenarios/fig6.mli: Format Netsim Workload

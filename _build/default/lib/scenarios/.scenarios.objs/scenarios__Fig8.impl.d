@@ -1,0 +1,1 @@
+lib/scenarios/fig8.ml: Adversary Array Diurnal Fig6 Filename List Printf Stdlib System Table Workload

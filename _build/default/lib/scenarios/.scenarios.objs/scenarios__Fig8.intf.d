@@ -1,0 +1,1 @@
+lib/scenarios/fig8.mli: Format Netsim Workload

@@ -1,0 +1,1 @@
+lib/scenarios/multirate.ml: Adversary Analytical Array Calibration Filename Fun List Printf Stats Stdlib System Table

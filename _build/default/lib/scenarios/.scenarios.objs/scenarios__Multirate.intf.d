@@ -1,0 +1,1 @@
+lib/scenarios/multirate.mli: Adversary Format

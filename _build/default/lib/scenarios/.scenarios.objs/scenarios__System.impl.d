@@ -1,0 +1,1 @@
+lib/scenarios/system.ml: Array Desim Float Netsim Padding Prng

@@ -1,0 +1,1 @@
+lib/scenarios/system.mli: Netsim Padding

@@ -1,0 +1,1 @@
+lib/scenarios/table.ml: Float Format Fun List Printf Stdlib String

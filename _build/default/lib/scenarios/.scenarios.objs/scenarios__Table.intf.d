@@ -1,0 +1,1 @@
+lib/scenarios/table.mli: Format

@@ -1,0 +1,1 @@
+lib/scenarios/workload.ml: Adversary Analytical Array Calibration Float List Printf Stats Stdlib System

@@ -1,0 +1,1 @@
+lib/scenarios/workload.mli: Adversary Stats System

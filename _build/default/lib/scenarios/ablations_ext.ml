@@ -1,0 +1,316 @@
+let run_classifier_backends ?(scale = 1.0) ?(seed = 52_001) fmt =
+  let n = 1000 in
+  let windows = Stdlib.max 10 (int_of_float (40.0 *. scale)) in
+  let traces =
+    Workload.collect_pair ~base:{ System.default_config with System.seed }
+      ~piats:(n * windows)
+  in
+  let classes = Workload.classes traces in
+  let single backend feature =
+    let named_features =
+      Array.map
+        (fun (name, trace) ->
+          ( name,
+            Adversary.Dataset.features_of_trace feature
+              ~reference:Calibration.timer_mean ~sample_size:n trace ))
+        classes
+    in
+    (Adversary.Detection.estimate_on_features ~backend ~feature ~sample_size:n
+       ~named_features ())
+      .Adversary.Detection.detection_rate
+  in
+  let entropy =
+    Adversary.Feature.Sample_entropy
+      { bin_width = Adversary.Feature.default_entropy_bin_width }
+  in
+  let spectral kind =
+    (Adversary.Spectral.estimate ~kind ~sample_size:n ~classes ())
+      .Adversary.Detection.detection_rate
+  in
+  let rows =
+    [
+      ("kde/variance", single `Kde Adversary.Feature.Sample_variance);
+      ("kde/entropy", single `Kde entropy);
+      ("gaussian/variance", single `Gaussian Adversary.Feature.Sample_variance);
+      ("gaussian/entropy", single `Gaussian entropy);
+      ( "joint kde (var+entropy)",
+        Adversary.Joint.estimate
+          ~features:[ Adversary.Feature.Sample_variance; entropy ]
+          ~reference:Calibration.timer_mean ~sample_size:n ~classes () );
+      ("spectral entropy", spectral Adversary.Spectral.Spectral_entropy);
+      ("spectral power", spectral Adversary.Spectral.Spectral_power);
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: adversary backends on the same CIT traces (n=%d, \
+            r_hat=%.3f)"
+           n traces.Workload.r_hat)
+      ~columns:[ "adversary"; "detection rate" ]
+  in
+  List.iter
+    (fun (name, v) -> Table.add_row table [ name; Printf.sprintf "%.3f" v ])
+    rows;
+  Table.print table fmt;
+  rows
+
+let run_mix_vs_padding ?(scale = 1.0) ?(seed = 52_002) fmt =
+  let n = 200 in
+  let windows = Stdlib.max 10 (int_of_float (30.0 *. scale)) in
+  let piats = n * windows in
+  let schemes =
+    [
+      ("CIT", `Cit);
+      ("VIT(20us)", `Vit 20e-6);
+      ("mix(K=8,500ms)", `Mix);
+    ]
+  in
+  let rows =
+    List.mapi
+      (fun i (name, scheme) ->
+        let run rate seed =
+          let cfg =
+            {
+              System.default_config with
+              System.seed = seed;
+              payload_rate_pps = rate;
+            }
+          in
+          match scheme with
+          | `Cit -> System.run cfg ~piats
+          | `Vit sigma ->
+              System.run
+                {
+                  cfg with
+                  System.timer =
+                    Padding.Timer.Normal
+                      { mean = Calibration.timer_mean; sigma };
+                }
+                ~piats
+          | `Mix -> System.run_mix cfg ~piats
+        in
+        let low = run Calibration.rate_low_pps (seed + (100 * i)) in
+        let high = run Calibration.rate_high_pps (seed + (100 * i) + 7919) in
+        let classes =
+          [|
+            (Calibration.label_low, low.System.piats);
+            (Calibration.label_high, high.System.piats);
+          |]
+        in
+        let results =
+          Adversary.Detection.estimate_features
+            ~features:Adversary.Feature.standard_set
+            ~reference:Calibration.timer_mean ~sample_size:n ~classes ()
+        in
+        let worst =
+          List.fold_left
+            (fun acc (r : Adversary.Detection.result) ->
+              Float.max acc r.Adversary.Detection.detection_rate)
+            0.5 results
+        in
+        (name, worst, 0.5 *. (low.System.overhead +. high.System.overhead)))
+      schemes
+  in
+  let table =
+    Table.create
+      ~title:"Ablation: mixing vs padding as rate-hiding (n=200)"
+      ~columns:[ "scheme"; "worst-feature detection"; "dummy overhead" ]
+  in
+  List.iter
+    (fun (name, worst, overhead) ->
+      Table.add_row table
+        [ name; Printf.sprintf "%.3f" worst; Printf.sprintf "%.3f" overhead ])
+    rows;
+  Table.print table fmt;
+  rows
+
+let run_bounds_table fmt =
+  let table =
+    Table.create
+      ~title:
+        "Analytics: Theorem 2 vs exact gamma law vs Bhattacharyya bracket \
+         (sample variance)"
+      ~columns:
+        [ "r"; "n"; "theorem 2"; "exact"; "bracket lo"; "bracket hi" ]
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun n ->
+          let theorem = Analytical.Theorems.v_variance ~r ~n in
+          let exact =
+            Analytical.Bayes_numeric.sample_variance_exact ~sigma2_l:1.0
+              ~sigma2_h:r ~n
+          in
+          let bracket =
+            Analytical.Bounds.sample_variance_bracket ~sigma2_l:1.0 ~sigma2_h:r
+              ~n
+          in
+          Table.add_row table
+            [
+              Printf.sprintf "%.2f" r;
+              string_of_int n;
+              Printf.sprintf "%.4f" theorem;
+              Printf.sprintf "%.4f" exact;
+              Printf.sprintf "%.4f" bracket.Analytical.Bounds.lower;
+              Printf.sprintf "%.4f" bracket.Analytical.Bounds.upper;
+            ])
+        [ 30; 100; 300; 1000 ])
+    [ 1.2; 1.5; 2.0; 3.0 ];
+  Table.print table fmt
+
+let run_roc ?(scale = 1.0) ?(seed = 52_005) fmt =
+  let windows = Stdlib.max 20 (int_of_float (60.0 *. scale)) in
+  let max_n = 400 in
+  let traces =
+    Workload.collect_pair ~base:{ System.default_config with System.seed }
+      ~piats:(max_n * windows)
+  in
+  let classes = Workload.classes traces in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun feature ->
+            let features_of (_, trace) =
+              Adversary.Dataset.features_of_trace feature
+                ~reference:Calibration.timer_mean ~sample_size:n trace
+            in
+            let negatives = features_of classes.(0) in
+            let positives = features_of classes.(1) in
+            let auc = Adversary.Roc.auc ~negatives ~positives in
+            let _, best = Adversary.Roc.best_accuracy ~negatives ~positives in
+            (n, Adversary.Feature.name feature, auc, best))
+          Adversary.Feature.standard_set)
+      [ 50; 400 ]
+  in
+  let table =
+    Table.create
+      ~title:"Ablation: ROC view of the CIT leak (AUC is threshold-free)"
+      ~columns:[ "n"; "feature"; "AUC"; "best accuracy" ]
+  in
+  List.iter
+    (fun (n, name, auc, best) ->
+      Table.add_row table
+        [
+          string_of_int n; name;
+          Printf.sprintf "%.3f" auc;
+          Printf.sprintf "%.3f" best;
+        ])
+    rows;
+  Table.print table fmt;
+  rows
+
+let run_size_padding ?(seed = 52_004) fmt =
+  let packets = 4_000 in
+  (* Two application mixes with the same Poisson timing: "interactive"
+     (small, narrow) vs "bulk" (bimodal with MTU-sized segments). *)
+  let interactive rng = 80 + Prng.Rng.int rng ~bound:120 in
+  let bulk rng =
+    if Prng.Sampler.bernoulli rng ~p:0.5 then 1460
+    else 200 + Prng.Rng.int rng ~bound:100
+  in
+  let capture ~size_of ~padded ~seed =
+    let sim = Desim.Sim.create () in
+    let rng = Prng.Rng.create ~seed in
+    let tap = Netsim.Tap.create sim ~dest:(fun _ -> ()) () in
+    let entry =
+      if padded then
+        Padding.Size_padding.pad_port ~target:1500 ~dest:(Netsim.Tap.port tap)
+      else Netsim.Tap.port tap
+    in
+    let src =
+      Netsim.Traffic_gen.poisson_sized sim ~rng:(Prng.Rng.split rng)
+        ~rate_pps:100.0 ~size_of ~kind:Netsim.Packet.Payload ~dest:entry ()
+    in
+    Desim.Sim.run_until sim ~time:(float_of_int packets /. 100.0 *. 1.1);
+    Netsim.Traffic_gen.stop src;
+    Netsim.Tap.sizes tap
+  in
+  let rows =
+    List.concat_map
+      (fun padded ->
+        let label = if padded then "padded to 1500B" else "unpadded sizes" in
+        let classes =
+          [|
+            ("interactive", capture ~size_of:interactive ~padded ~seed);
+            ("bulk", capture ~size_of:bulk ~padded ~seed:(seed + 1));
+          |]
+        in
+        List.map
+          (fun kind ->
+            let res =
+              Adversary.Sizes.estimate ~kind ~window:50 ~classes ()
+            in
+            ( label,
+              Adversary.Sizes.name kind,
+              res.Adversary.Detection.detection_rate ))
+          [ Adversary.Sizes.Mean_size; Adversary.Sizes.Size_entropy ])
+      [ false; true ]
+  in
+  let table =
+    Table.create
+      ~title:
+        "Ablation: the packet-size channel, with and without size padding \
+         (window = 50 packets)"
+      ~columns:[ "configuration"; "feature"; "detection rate" ]
+  in
+  List.iter
+    (fun (config, feature, v) ->
+      Table.add_row table [ config; feature; Printf.sprintf "%.3f" v ])
+    rows;
+  Table.print table fmt;
+  rows
+
+let run_qos_table ?(seed = 52_003) fmt =
+  let payload_rate = Calibration.rate_high_pps in
+  let rows =
+    List.mapi
+      (fun i timer_rate ->
+        let timer_mean = 1.0 /. timer_rate in
+        let analytic =
+          Padding.Qos.mean_delay ~payload_rate_pps:payload_rate ~timer_mean
+        in
+        let res =
+          System.run
+            {
+              System.default_config with
+              System.seed = seed + i;
+              payload_rate_pps = payload_rate;
+              timer = Padding.Timer.Constant timer_mean;
+            }
+            ~piats:20_000
+        in
+        (timer_rate, analytic, res.System.mean_payload_latency))
+      [ 50.0; 80.0; 100.0; 200.0; 400.0 ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "QoS: payload delay vs timer rate (Poisson payload %.0f pps), \
+            analytic M/D/1 vs simulation"
+           payload_rate)
+      ~columns:
+        [ "timer (pps)"; "util"; "analytic delay (ms)"; "simulated (ms)";
+          "overhead" ]
+  in
+  List.iter
+    (fun (rate, analytic, simulated) ->
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f" rate;
+          Printf.sprintf "%.2f"
+            (Padding.Qos.utilization ~payload_rate_pps:payload_rate
+               ~timer_mean:(1.0 /. rate));
+          Printf.sprintf "%.2f" (analytic *. 1e3);
+          Printf.sprintf "%.2f" (simulated *. 1e3);
+          Printf.sprintf "%.2f"
+            (Padding.Qos.overhead ~payload_rate_pps:payload_rate
+               ~timer_mean:(1.0 /. rate));
+        ])
+    rows;
+  Table.print table fmt;
+  rows

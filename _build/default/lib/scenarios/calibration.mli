@@ -1,0 +1,51 @@
+(** Experiment-wide constants and the offline calibration run.
+
+    The constants mirror the paper's §5 setup where it specifies one
+    (τ = 10 ms, rates 10/40 pps, equal priors) and substitute calibrated
+    magnitudes where it depends on the physical testbed (gateway jitter
+    scale, link speeds) — see DESIGN.md §2 for the mapping. *)
+
+val timer_mean : float
+(** 10 ms — E\[T\] for both CIT and VIT (paper §5). *)
+
+val rate_low_pps : float
+(** ω_l = 10 packets/s. *)
+
+val rate_high_pps : float
+(** ω_h = 40 packets/s. *)
+
+val packet_size : int
+(** 500 bytes, constant for the padded stream (paper §3.2 assumption 3). *)
+
+val cross_packet_size : int
+(** 500 bytes for cross traffic too, so "link utilization" converts to a
+    packet rate directly. *)
+
+val lab_bandwidth_bps : float
+(** 622 Mb/s (OC-12) shared output link in the lab/fig6 topology: ~6.4 µs
+    service time per 500 B packet, which places the ρ = 0.05…0.5 queueing
+    jitter in the same decade as the calibrated gateway jitter — the
+    regime the paper's Fig. 6 explores (detection decaying from ~1.0
+    toward the 0.5 floor across that sweep rather than collapsing at the
+    first step). *)
+
+val default_jitter : Padding.Jitter.t
+(** The mechanistic gateway model at its calibrated defaults. *)
+
+val label_low : string
+val label_high : string
+
+type gateway_sigmas = {
+  sigma_low : float;   (** PIAT std-dev under ω_l, tap at gateway, CIT *)
+  sigma_high : float;  (** ... under ω_h *)
+  r_hat : float;       (** variance ratio estimate σ_h²/σ_l² *)
+}
+
+val measure_gateway_sigmas :
+  ?seed:int -> ?piats:int -> ?jitter:Padding.Jitter.t -> unit -> gateway_sigmas
+(** The adversary's (and designer's) offline reconstruction: run the
+    gateway alone (CIT, no cross traffic, tap at position 0) at both rates
+    and measure the PIAT sigmas.  Default 40 000 PIATs per rate. *)
+
+val print_setup : Format.formatter -> unit
+(** The §5 configuration table. *)

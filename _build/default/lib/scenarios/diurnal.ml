@@ -1,0 +1,12 @@
+let wrap hour =
+  let h = Float.rem hour 24.0 in
+  if h < 0.0 then h +. 24.0 else h
+
+let activity ~hour =
+  let h = wrap hour in
+  (* Minimum at 4 AM, maximum at 16:00. *)
+  0.5 *. (1.0 -. cos (2.0 *. Float.pi *. (h -. 4.0) /. 24.0))
+
+let campus_utilization ~hour = 0.02 +. (0.12 *. activity ~hour)
+let wan_congested_utilization ~hour = 0.14 +. (0.34 *. activity ~hour)
+let wan_light_utilization ~hour = wan_congested_utilization ~hour /. 6.0

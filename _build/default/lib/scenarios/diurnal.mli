@@ -1,0 +1,25 @@
+(** Time-of-day utilization profiles for the campus / WAN experiments
+    (paper §5.3, Fig. 8: data collected over complete 24-hour days).
+
+    The real traces came from the TAMU campus (March 24 2003) and the
+    OSU→TAMU Internet path (March 26 2003); we substitute a smooth diurnal
+    curve with the canonical enterprise shape — minimum around 4 AM,
+    maximum mid-afternoon — scaled to regimes in which the padded stream's
+    detectability spans the same ranges the paper reports. *)
+
+val activity : hour:float -> float
+(** Normalized activity in [0, 1]: 0 at 4 AM, 1 at 16:00, sinusoidal.
+    [hour] is wrapped into [0, 24). *)
+
+val campus_utilization : hour:float -> float
+(** Per-hop utilization on the campus path: 0.02 … 0.14.  A medium-size
+    enterprise network: crossover traffic has limited influence, so CIT
+    detection stays high essentially all day. *)
+
+val wan_congested_utilization : hour:float -> float
+(** Utilization of the congested backbone hops on the WAN path:
+    0.14 … 0.48 — heavy enough that daytime detection falls toward the
+    0.5 floor while the 2 AM trough still leaks. *)
+
+val wan_light_utilization : hour:float -> float
+(** The remaining WAN hops (well-provisioned core): congested / 6. *)

@@ -1,0 +1,36 @@
+(** Figure 5(a): VIT padding — empirical detection rate vs. the timer
+    standard deviation σ_T at a fixed (large) sample size.
+
+    Expected shape: as σ_T grows past the gateway-jitter scale the variance
+    ratio r collapses to 1 and every feature's detection rate drops to the
+    0.5 floor — the paper's core design recommendation. *)
+
+type point = {
+  sigma_t : float;          (** seconds *)
+  r_hat : float;
+  r_predicted : float;      (** from calibration σ_gw and this σ_T *)
+  scores : Workload.scored list;
+}
+
+type t = {
+  sample_size : int;
+  calibration : Calibration.gateway_sigmas;
+  points : point list;
+}
+
+val default_sigma_ts : float list
+(** 0 (CIT baseline), 1, 2, 5, 10, 20, 50, 100 µs. *)
+
+val run :
+  ?scale:float ->
+  ?seed:int ->
+  ?sample_size:int ->
+  ?sigma_ts:float list ->
+  ?law:(sigma_t:float -> Padding.Timer.law) ->
+  ?csv_dir:string ->
+  Format.formatter ->
+  t
+(** Default sample size 2000 (paper's Fig. 5(a)); 24 windows per class per
+    point (scaled, floor 6).  [law] maps a σ_T to the interval law
+    (default: truncated normal around the calibration mean) — the
+    uniform/exponential ablation passes a different constructor. *)

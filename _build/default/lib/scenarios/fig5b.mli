@@ -1,0 +1,34 @@
+(** Figure 5(b): theoretical sample size needed for a 99% detection rate
+    as a function of the VIT timer σ_T.
+
+    The paper's headline: at σ_T = 1 ms the adversary needs more than 10¹¹
+    PIATs — virtually impossible to collect while the payload holds one
+    rate.  Pure closed-form (Theorems 2 and 3) evaluated at the variance
+    ratio implied by the calibrated gateway jitter. *)
+
+type point = {
+  sigma_t : float;
+  r : float;
+  n_variance : float;   (** samples needed using sample variance *)
+  n_entropy : float;
+}
+
+type t = {
+  target : float;  (** the detection-rate target, 0.99 *)
+  calibration : Calibration.gateway_sigmas;
+  points : point list;
+}
+
+val default_sigma_ts : float list
+(** 1 µs … 1 ms, log-spaced. *)
+
+val run :
+  ?seed:int ->
+  ?target:float ->
+  ?sigma_ts:float list ->
+  ?calibration:Calibration.gateway_sigmas ->
+  ?csv_dir:string ->
+  Format.formatter ->
+  t
+(** [calibration] defaults to a fresh measurement run (pass one in to
+    reuse across figures). *)

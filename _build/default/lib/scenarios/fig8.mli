@@ -1,0 +1,41 @@
+(** Figure 8: detection rate over a 24-hour day on (a) a campus network and
+    (b) a wide-area path (the paper's OSU → TAMU Internet route, 15
+    routers), CIT padding, tap in front of the receiver gateway.
+
+    Expected shape: on the campus path variance/entropy detection stays
+    high essentially all day; on the WAN it is much lower overall but
+    still exceeds ~0.65 in the small hours (≈2–4 AM), the paper's warning
+    that CIT is unsafe even behind many noisy routers. *)
+
+type kind = Campus | Wan
+
+type point = {
+  hour : float;
+  utilization : float;       (** per-congested-hop utilization at that hour *)
+  r_hat : float;
+  scores : Workload.scored list;
+}
+
+type t = { kind : kind; sample_size : int; points : point list }
+
+val hops_for : kind -> hour:float -> Netsim.Topology.hop_spec array
+(** Campus: 4 hops at the campus diurnal utilization.  WAN: 15 hops — 6
+    congested at the WAN diurnal utilization plus 9 well-provisioned at
+    1/6 of it (the paper's path crosses a few loaded exchange points and
+    many quiet backbone hops). *)
+
+val default_hours : float list
+(** 0, 2, …, 22 — every two hours across the day. *)
+
+val run :
+  ?scale:float ->
+  ?seed:int ->
+  ?sample_size:int ->
+  ?hours:float list ->
+  kind:kind ->
+  ?csv_dir:string ->
+  Format.formatter ->
+  t
+(** Default sample size 1000 (paper); 16 windows per class per time point
+    (scaled, floor 6).  Each time point is simulated quasi-statically at
+    that hour's utilization. *)

@@ -1,0 +1,258 @@
+type payload_model = Poisson_payload | Cbr_payload
+
+type config = {
+  seed : int;
+  timer : Padding.Timer.law;
+  jitter : Padding.Jitter.t;
+  payload_rate_pps : float;
+  payload_model : payload_model;
+  packet_size : int;
+  hops : Netsim.Topology.hop_spec array;
+  tap_position : int;
+  warmup_piats : int;
+}
+
+let default_config =
+  {
+    seed = 42;
+    timer = Padding.Timer.Constant 0.010;
+    jitter = Padding.Jitter.mechanistic ();
+    payload_rate_pps = 10.0;
+    payload_model = Poisson_payload;
+    packet_size = 500;
+    hops = [||];
+    tap_position = 0;
+    warmup_piats = 200;
+  }
+
+type result = {
+  piats : float array;
+  timestamps : float array;
+  overhead : float;
+  payload_offered : int;
+  payload_delivered : int;
+  payload_dropped_gw : int;
+  mean_payload_latency : float;
+  sim_time : float;
+}
+
+let validate cfg =
+  Padding.Timer.validate cfg.timer;
+  if cfg.payload_rate_pps <= 0.0 then invalid_arg "System: payload_rate <= 0";
+  if cfg.packet_size <= 0 then invalid_arg "System: packet_size <= 0";
+  if cfg.warmup_piats < 0 then invalid_arg "System: warmup_piats < 0"
+
+let start_payload_source sim ~model ~rng ~rate_pps ~size_bytes ~dest =
+  match model with
+  | Poisson_payload ->
+      Netsim.Traffic_gen.poisson sim ~rng ~rate_pps ~size_bytes
+        ~kind:Netsim.Packet.Payload ~dest ()
+  | Cbr_payload ->
+      Netsim.Traffic_gen.cbr sim ~rate_pps ~size_bytes
+        ~kind:Netsim.Packet.Payload ~dest ()
+
+(* Advance the simulation until the tap holds [target] timestamps; chunked
+   so we stop close to (not far past) the goal. *)
+let run_until_tap_count sim ~tap ~target ~expected_rate =
+  let max_chunks = 1_000_000 in
+  let chunks = ref 0 in
+  while Netsim.Tap.count tap < target && !chunks < max_chunks do
+    incr chunks;
+    let missing = target - Netsim.Tap.count tap in
+    let dt = Float.max (float_of_int missing /. expected_rate *. 1.1) 0.1 in
+    Desim.Sim.run_until sim ~time:(Desim.Sim.now sim +. dt)
+  done;
+  if Netsim.Tap.count tap < target then
+    failwith "System.run: tap starved (no padded traffic reaching the tap?)"
+
+let trim_warmup cfg timestamps =
+  (* Dropping the first (warmup+1) timestamps drops the first warmup PIATs. *)
+  let drop = cfg.warmup_piats + 1 in
+  let n = Array.length timestamps in
+  if n <= drop then [||] else Array.sub timestamps drop (n - drop)
+
+let piats_of_timestamps ts =
+  let n = Array.length ts in
+  if n < 2 then [||] else Array.init (n - 1) (fun i -> ts.(i + 1) -. ts.(i))
+
+let run cfg ~piats =
+  validate cfg;
+  if piats < 1 then invalid_arg "System.run: piats < 1";
+  let sim = Desim.Sim.create () in
+  let root = Prng.Rng.create ~seed:cfg.seed in
+  let rng_payload = Prng.Rng.split root in
+  let rng_gateway = Prng.Rng.split root in
+  let rng_cross = Prng.Rng.split root in
+  let receiver = Padding.Receiver.create sim () in
+  let topo =
+    Netsim.Topology.chain sim ~rng:rng_cross ~hops:cfg.hops
+      ~tap_position:cfg.tap_position
+      ~dest:(Padding.Receiver.port receiver)
+      ()
+  in
+  let gateway =
+    Padding.Gateway.create sim ~rng:rng_gateway ~timer:cfg.timer
+      ~jitter:cfg.jitter ~packet_size:cfg.packet_size ~dest:topo.Netsim.Topology.entry ()
+  in
+  let source =
+    start_payload_source sim ~model:cfg.payload_model ~rng:rng_payload
+      ~rate_pps:cfg.payload_rate_pps ~size_bytes:cfg.packet_size
+      ~dest:(Padding.Gateway.input gateway)
+  in
+  let target = piats + cfg.warmup_piats + 1 in
+  let expected_rate = 1.0 /. Padding.Timer.mean cfg.timer in
+  run_until_tap_count sim ~tap:topo.Netsim.Topology.tap ~target ~expected_rate;
+  Netsim.Traffic_gen.stop source;
+  Padding.Gateway.stop gateway;
+  Netsim.Topology.stop_cross topo;
+  let timestamps = trim_warmup cfg (Netsim.Tap.timestamps topo.Netsim.Topology.tap) in
+  let all_piats = piats_of_timestamps timestamps in
+  let piats_arr =
+    if Array.length all_piats > piats then Array.sub all_piats 0 piats
+    else all_piats
+  in
+  {
+    piats = piats_arr;
+    timestamps;
+    overhead = Padding.Gateway.overhead gateway;
+    payload_offered = Netsim.Traffic_gen.generated source;
+    payload_delivered = Padding.Receiver.payload_received receiver;
+    payload_dropped_gw = Padding.Gateway.payload_dropped gateway;
+    mean_payload_latency = Padding.Receiver.mean_payload_latency receiver;
+    sim_time = Desim.Sim.now sim;
+  }
+
+let run_mix ?(threshold = 8) ?(timeout = 0.5) cfg ~piats =
+  validate cfg;
+  if piats < 1 then invalid_arg "System.run_mix: piats < 1";
+  let sim = Desim.Sim.create () in
+  let root = Prng.Rng.create ~seed:cfg.seed in
+  let rng_payload = Prng.Rng.split root in
+  let rng_gateway = Prng.Rng.split root in
+  let rng_cross = Prng.Rng.split root in
+  let receiver = Padding.Receiver.create sim () in
+  let topo =
+    Netsim.Topology.chain sim ~rng:rng_cross ~hops:cfg.hops
+      ~tap_position:cfg.tap_position
+      ~dest:(Padding.Receiver.port receiver)
+      ()
+  in
+  let mix =
+    Padding.Mix.create sim ~rng:rng_gateway ~threshold ~timeout
+      ~packet_size:cfg.packet_size ~dest:topo.Netsim.Topology.entry ()
+  in
+  let source =
+    start_payload_source sim ~model:cfg.payload_model ~rng:rng_payload
+      ~rate_pps:cfg.payload_rate_pps ~size_bytes:cfg.packet_size
+      ~dest:(Padding.Mix.input mix)
+  in
+  let target = piats + cfg.warmup_piats + 1 in
+  (* Each timeout flush emits [threshold] packets, so the slowest possible
+     wire rate is threshold/timeout. *)
+  run_until_tap_count sim ~tap:topo.Netsim.Topology.tap ~target
+    ~expected_rate:(float_of_int threshold /. timeout);
+  Netsim.Traffic_gen.stop source;
+  Padding.Mix.stop mix;
+  Netsim.Topology.stop_cross topo;
+  let timestamps = trim_warmup cfg (Netsim.Tap.timestamps topo.Netsim.Topology.tap) in
+  let all_piats = piats_of_timestamps timestamps in
+  let piats_arr =
+    if Array.length all_piats > piats then Array.sub all_piats 0 piats
+    else all_piats
+  in
+  {
+    piats = piats_arr;
+    timestamps;
+    overhead = Padding.Mix.overhead mix;
+    payload_offered = Netsim.Traffic_gen.generated source;
+    payload_delivered = Padding.Receiver.payload_received receiver;
+    payload_dropped_gw = 0;
+    mean_payload_latency = Padding.Receiver.mean_payload_latency receiver;
+    sim_time = Desim.Sim.now sim;
+  }
+
+let run_adaptive ?(min_period = 0.010) ?(max_period = 0.040) cfg ~piats =
+  validate cfg;
+  if piats < 1 then invalid_arg "System.run_adaptive: piats < 1";
+  let sim = Desim.Sim.create () in
+  let root = Prng.Rng.create ~seed:cfg.seed in
+  let rng_payload = Prng.Rng.split root in
+  let rng_gateway = Prng.Rng.split root in
+  let rng_cross = Prng.Rng.split root in
+  let receiver = Padding.Receiver.create sim () in
+  let topo =
+    Netsim.Topology.chain sim ~rng:rng_cross ~hops:cfg.hops
+      ~tap_position:cfg.tap_position
+      ~dest:(Padding.Receiver.port receiver)
+      ()
+  in
+  let gateway =
+    Padding.Adaptive.create sim ~rng:rng_gateway ~min_period ~max_period
+      ~jitter:cfg.jitter ~packet_size:cfg.packet_size
+      ~dest:topo.Netsim.Topology.entry ()
+  in
+  let source =
+    start_payload_source sim ~model:cfg.payload_model ~rng:rng_payload
+      ~rate_pps:cfg.payload_rate_pps ~size_bytes:cfg.packet_size
+      ~dest:(Padding.Adaptive.input gateway)
+  in
+  let target = piats + cfg.warmup_piats + 1 in
+  (* Worst case the adaptive gateway idles at max_period. *)
+  run_until_tap_count sim ~tap:topo.Netsim.Topology.tap ~target
+    ~expected_rate:(1.0 /. max_period);
+  Netsim.Traffic_gen.stop source;
+  Padding.Adaptive.stop gateway;
+  Netsim.Topology.stop_cross topo;
+  let timestamps = trim_warmup cfg (Netsim.Tap.timestamps topo.Netsim.Topology.tap) in
+  let all_piats = piats_of_timestamps timestamps in
+  let piats_arr =
+    if Array.length all_piats > piats then Array.sub all_piats 0 piats
+    else all_piats
+  in
+  {
+    piats = piats_arr;
+    timestamps;
+    overhead = Padding.Adaptive.overhead gateway;
+    payload_offered = Netsim.Traffic_gen.generated source;
+    payload_delivered = Padding.Receiver.payload_received receiver;
+    payload_dropped_gw = 0;
+    mean_payload_latency = Padding.Receiver.mean_payload_latency receiver;
+    sim_time = Desim.Sim.now sim;
+  }
+
+let run_unpadded cfg ~packets =
+  validate cfg;
+  if packets < 1 then invalid_arg "System.run_unpadded: packets < 1";
+  let sim = Desim.Sim.create () in
+  let root = Prng.Rng.create ~seed:cfg.seed in
+  let rng_payload = Prng.Rng.split root in
+  let _rng_gateway = Prng.Rng.split root in
+  let rng_cross = Prng.Rng.split root in
+  let receiver = Padding.Receiver.create sim () in
+  let topo =
+    Netsim.Topology.chain sim ~rng:rng_cross ~hops:cfg.hops
+      ~tap_position:cfg.tap_position
+      ~dest:(Padding.Receiver.port receiver)
+      ()
+  in
+  let source =
+    start_payload_source sim ~model:cfg.payload_model ~rng:rng_payload
+      ~rate_pps:cfg.payload_rate_pps ~size_bytes:cfg.packet_size
+      ~dest:topo.Netsim.Topology.entry
+  in
+  let target = packets + cfg.warmup_piats + 1 in
+  run_until_tap_count sim ~tap:topo.Netsim.Topology.tap ~target
+    ~expected_rate:cfg.payload_rate_pps;
+  Netsim.Traffic_gen.stop source;
+  Netsim.Topology.stop_cross topo;
+  let timestamps = trim_warmup cfg (Netsim.Tap.timestamps topo.Netsim.Topology.tap) in
+  {
+    piats = piats_of_timestamps timestamps;
+    timestamps;
+    overhead = 0.0;
+    payload_offered = Netsim.Traffic_gen.generated source;
+    payload_delivered = Padding.Receiver.payload_received receiver;
+    payload_dropped_gw = 0;
+    mean_payload_latency = Padding.Receiver.mean_payload_latency receiver;
+    sim_time = Desim.Sim.now sim;
+  }

@@ -1,0 +1,56 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- row :: t.rows
+
+let fcell x =
+  if Float.is_integer x && Float.abs x < 1e7 then
+    Printf.sprintf "%.0f" x
+  else if Float.abs x >= 1e6 || (Float.abs x < 1e-3 && x <> 0.0) then
+    Printf.sprintf "%.3e" x
+  else Printf.sprintf "%.4f" x
+
+let rows_in_order t = List.rev t.rows
+
+let print t fmt =
+  let rows = rows_in_order t in
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+          (String.length col) rows)
+      t.columns
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render_row cells =
+    String.concat "  " (List.map2 pad cells widths)
+  in
+  Format.fprintf fmt "@.%s@." t.title;
+  let header = render_row t.columns in
+  Format.fprintf fmt "%s@." header;
+  Format.fprintf fmt "%s@." (String.make (String.length header) '-');
+  List.iter (fun row -> Format.fprintf fmt "%s@." (render_row row)) rows
+
+let quote_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map quote_cell cells) in
+  String.concat "\n" (line t.columns :: List.map line (rows_in_order t)) ^ "\n"
+
+let save_csv t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))

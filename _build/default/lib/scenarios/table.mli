@@ -1,0 +1,20 @@
+(** Plain-text tables and CSV output for the figure reproductions. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header. *)
+
+val fcell : float -> string
+(** Default float formatting ("%.4g"); scientific when warranted. *)
+
+val print : t -> Format.formatter -> unit
+(** Render with column alignment, a title line, and a rule. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines). *)
+
+val save_csv : t -> path:string -> unit
+(** Write {!to_csv} to a file, creating parent-less paths as given. *)

@@ -1,0 +1,77 @@
+type traces = {
+  low : System.result;
+  high : System.result;
+  var_low : float;
+  var_high : float;
+  r_hat : float;
+}
+
+let collect_pair ~base ~piats =
+  let low =
+    System.run
+      { base with System.payload_rate_pps = Calibration.rate_low_pps }
+      ~piats
+  in
+  let high =
+    System.run
+      {
+        base with
+        System.payload_rate_pps = Calibration.rate_high_pps;
+        seed = base.System.seed + 7919;
+      }
+      ~piats
+  in
+  let var_low = Stats.Descriptive.variance low.System.piats in
+  let var_high = Stats.Descriptive.variance high.System.piats in
+  let r_hat = Float.max (var_high /. var_low) 1.0 in
+  { low; high; var_low; var_high; r_hat }
+
+let classes t =
+  [|
+    (Calibration.label_low, t.low.System.piats);
+    (Calibration.label_high, t.high.System.piats);
+  |]
+
+type scored = {
+  feature : Adversary.Feature.kind;
+  sample_size : int;
+  empirical : float;
+  theory : float;
+  n_test : int;
+}
+
+let wilson95 s =
+  let trials = Stdlib.max s.n_test 1 in
+  let successes =
+    Stdlib.max 0
+      (Stdlib.min trials
+         (int_of_float (Float.round (s.empirical *. float_of_int trials))))
+  in
+  Stats.Confidence.wilson ~successes ~trials ~confidence:0.95
+
+let pp_ci s =
+  let iv = wilson95 s in
+  Printf.sprintf "[%.2f,%.2f]" iv.Stats.Confidence.lo iv.Stats.Confidence.hi
+
+let theory_of ~feature ~r ~n =
+  match feature with
+  | Adversary.Feature.Sample_mean -> Analytical.Theorems.v_mean ~r
+  | Adversary.Feature.Sample_variance -> Analytical.Theorems.v_variance ~r ~n
+  | Adversary.Feature.Sample_entropy _ -> Analytical.Theorems.v_entropy ~r ~n
+
+let score t ~features ~sample_size =
+  let results =
+    Adversary.Detection.estimate_features ~features
+      ~reference:Calibration.timer_mean ~sample_size ~classes:(classes t) ()
+  in
+  List.map2
+    (fun feature (res : Adversary.Detection.result) ->
+      {
+        feature;
+        sample_size;
+        empirical = res.Adversary.Detection.detection_rate;
+        theory = theory_of ~feature ~r:t.r_hat ~n:sample_size;
+        n_test =
+          Array.fold_left ( + ) 0 res.Adversary.Detection.n_test_per_class;
+      })
+    features results

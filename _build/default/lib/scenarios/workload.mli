@@ -1,0 +1,47 @@
+(** Shared plumbing for the figure runners: collect a low-rate/high-rate
+    trace pair from one system configuration and score the adversary's
+    features on it. *)
+
+type traces = {
+  low : System.result;
+  high : System.result;
+  var_low : float;         (** full-trace PIAT variance under ω_l *)
+  var_high : float;
+  r_hat : float;           (** max(var_high/var_low, 1): the adversary's
+                               offline estimate of the variance ratio *)
+}
+
+val collect_pair : base:System.config -> piats:int -> traces
+(** Run [base] at the calibration low and high payload rates (distinct
+    derived seeds) until each yields [piats] inter-arrival times. *)
+
+val classes : traces -> (string * float array) array
+(** Labeled PIAT traces in (low, high) order, for {!Adversary.Detection}. *)
+
+type scored = {
+  feature : Adversary.Feature.kind;
+  sample_size : int;
+  empirical : float;        (** KDE-Bayes detection rate, held-out *)
+  theory : float;           (** paper theorem at the measured r̂ *)
+  n_test : int;             (** held-out trials behind [empirical] *)
+}
+
+val wilson95 : scored -> Stats.Confidence.interval
+(** 95% Wilson interval for [empirical] (treating the prior-weighted score
+    as a plain proportion of the held-out trials — exact for the
+    equal-prior, balanced splits used throughout). *)
+
+val pp_ci : scored -> string
+(** "[lo, hi]" rendering of {!wilson95} for table cells. *)
+
+val score :
+  traces ->
+  features:Adversary.Feature.kind list ->
+  sample_size:int ->
+  scored list
+(** Empirical detection via {!Adversary.Detection.estimate_features}
+    (reference = the calibration timer mean) paired with the matching
+    closed-form value at [r_hat]. *)
+
+val theory_of : feature:Adversary.Feature.kind -> r:float -> n:int -> float
+(** Theorem 1/2/3 dispatch. *)

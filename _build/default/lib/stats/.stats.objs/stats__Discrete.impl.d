@@ -1,0 +1,1 @@
+lib/stats/discrete.ml: Float Printf Prng Special

@@ -1,0 +1,1 @@
+lib/stats/discrete.mli: Prng

@@ -1,0 +1,1 @@
+lib/stats/entropy.ml: Array Descriptive Float Histogram Stdlib

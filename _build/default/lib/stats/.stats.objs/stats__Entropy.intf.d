@@ -1,0 +1,1 @@
+lib/stats/entropy.mli: Histogram

@@ -1,0 +1,168 @@
+type t = {
+  name : string;
+  pdf : float -> float;
+  log_pdf : float -> float;
+  cdf : float -> float;
+  quantile : float -> float;
+  mean : float;
+  variance : float;
+  sample : Prng.Rng.t -> float;
+}
+
+let check_p p = if p <= 0.0 || p >= 1.0 then invalid_arg "Distribution.quantile: p out of (0,1)"
+
+let normal ~mu ~sigma =
+  if sigma <= 0.0 then invalid_arg "Distribution.normal: sigma <= 0";
+  {
+    name = Printf.sprintf "normal(%.6g,%.6g)" mu sigma;
+    pdf = Special.normal_pdf ~mu ~sigma;
+    log_pdf = Special.log_normal_pdf ~mu ~sigma;
+    cdf = Special.normal_cdf ~mu ~sigma;
+    quantile = (fun p -> check_p p; Special.normal_quantile ~mu ~sigma p);
+    mean = mu;
+    variance = sigma *. sigma;
+    sample = (fun rng -> Prng.Sampler.normal rng ~mu ~sigma);
+  }
+
+let uniform ~lo ~hi =
+  if lo >= hi then invalid_arg "Distribution.uniform: lo >= hi";
+  let w = hi -. lo in
+  {
+    name = Printf.sprintf "uniform(%.6g,%.6g)" lo hi;
+    pdf = (fun x -> if x < lo || x > hi then 0.0 else 1.0 /. w);
+    log_pdf =
+      (fun x -> if x < lo || x > hi then Float.neg_infinity else -.log w);
+    cdf =
+      (fun x ->
+        if x <= lo then 0.0 else if x >= hi then 1.0 else (x -. lo) /. w);
+    quantile = (fun p -> check_p p; lo +. (p *. w));
+    mean = 0.5 *. (lo +. hi);
+    variance = w *. w /. 12.0;
+    sample = (fun rng -> Prng.Sampler.uniform rng ~lo ~hi);
+  }
+
+let exponential ~rate =
+  if rate <= 0.0 then invalid_arg "Distribution.exponential: rate <= 0";
+  {
+    name = Printf.sprintf "exponential(%.6g)" rate;
+    pdf = (fun x -> if x < 0.0 then 0.0 else rate *. exp (-.rate *. x));
+    log_pdf =
+      (fun x -> if x < 0.0 then Float.neg_infinity else log rate -. (rate *. x));
+    cdf = (fun x -> if x <= 0.0 then 0.0 else 1.0 -. exp (-.rate *. x));
+    quantile = (fun p -> check_p p; -.log (1.0 -. p) /. rate);
+    mean = 1.0 /. rate;
+    variance = 1.0 /. (rate *. rate);
+    sample = (fun rng -> Prng.Sampler.exponential rng ~rate);
+  }
+
+(* Marsaglia–Tsang squeeze for Gamma(shape >= 1); boost for shape < 1. *)
+let rec gamma_sample rng ~shape ~scale =
+  if shape < 1.0 then
+    let u = Prng.Rng.float_pos rng in
+    gamma_sample rng ~shape:(shape +. 1.0) ~scale *. (u ** (1.0 /. shape))
+  else begin
+    let d = shape -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec draw () =
+      let x = Prng.Sampler.normal rng ~mu:0.0 ~sigma:1.0 in
+      let v = 1.0 +. (c *. x) in
+      if v <= 0.0 then draw ()
+      else
+        let v = v *. v *. v in
+        let u = Prng.Rng.float_pos rng in
+        if u < 1.0 -. (0.0331 *. x *. x *. x *. x) then d *. v
+        else if log u < (0.5 *. x *. x) +. (d *. (1.0 -. v +. log v)) then d *. v
+        else draw ()
+    in
+    draw () *. scale
+  end
+
+let gamma ~shape ~scale =
+  if shape <= 0.0 then invalid_arg "Distribution.gamma: shape <= 0";
+  if scale <= 0.0 then invalid_arg "Distribution.gamma: scale <= 0";
+  let log_norm = Special.log_gamma shape +. (shape *. log scale) in
+  let cdf x = if x <= 0.0 then 0.0 else Special.gamma_p ~a:shape ~x:(x /. scale) in
+  let mean = shape *. scale in
+  let sd = sqrt shape *. scale in
+  let quantile p =
+    check_p p;
+    (* Bracket the root around a normal-approximation start. *)
+    let guess = Float.max (mean +. (sd *. Special.normal_quantile ~mu:0.0 ~sigma:1.0 p)) (1e-12 *. scale) in
+    match
+      Rootfind.find_bracket (fun x -> cdf (Float.max x 0.0) -. p) ~center:guess
+        ~step:(Float.max (0.1 *. sd) (1e-9 *. scale)) ()
+    with
+    | Some (lo, hi) ->
+        Float.max 0.0 (Rootfind.brent (fun x -> cdf (Float.max x 0.0) -. p) ~lo ~hi)
+    | None -> guess
+  in
+  {
+    name = Printf.sprintf "gamma(%.6g,%.6g)" shape scale;
+    pdf =
+      (fun x ->
+        if x <= 0.0 then 0.0
+        else exp (((shape -. 1.0) *. log x) -. (x /. scale) -. log_norm));
+    log_pdf =
+      (fun x ->
+        if x <= 0.0 then Float.neg_infinity
+        else ((shape -. 1.0) *. log x) -. (x /. scale) -. log_norm);
+    cdf;
+    quantile;
+    mean;
+    variance = shape *. scale *. scale;
+    sample = (fun rng -> gamma_sample rng ~shape ~scale);
+  }
+
+let chi_square ~dof =
+  if dof < 1 then invalid_arg "Distribution.chi_square: dof < 1";
+  let g = gamma ~shape:(float_of_int dof /. 2.0) ~scale:2.0 in
+  { g with name = Printf.sprintf "chi2(%d)" dof }
+
+let scaled_chi_square ~dof ~sigma2 =
+  if dof < 1 then invalid_arg "Distribution.scaled_chi_square: dof < 1";
+  if sigma2 <= 0.0 then invalid_arg "Distribution.scaled_chi_square: sigma2 <= 0";
+  let g =
+    gamma ~shape:(float_of_int dof /. 2.0)
+      ~scale:(2.0 *. sigma2 /. float_of_int dof)
+  in
+  { g with name = Printf.sprintf "sample_variance(dof=%d,sigma2=%.6g)" dof sigma2 }
+
+let lognormal ~mu ~sigma =
+  if sigma <= 0.0 then invalid_arg "Distribution.lognormal: sigma <= 0";
+  let n = normal ~mu ~sigma in
+  {
+    name = Printf.sprintf "lognormal(%.6g,%.6g)" mu sigma;
+    pdf = (fun x -> if x <= 0.0 then 0.0 else n.pdf (log x) /. x);
+    log_pdf =
+      (fun x -> if x <= 0.0 then Float.neg_infinity else n.log_pdf (log x) -. log x);
+    cdf = (fun x -> if x <= 0.0 then 0.0 else n.cdf (log x));
+    quantile = (fun p -> exp (n.quantile p));
+    mean = exp (mu +. (sigma *. sigma /. 2.0));
+    variance =
+      (exp (sigma *. sigma) -. 1.0) *. exp ((2.0 *. mu) +. (sigma *. sigma));
+    sample = (fun rng -> exp (n.sample rng));
+  }
+
+let pareto ~shape ~scale =
+  if shape <= 0.0 then invalid_arg "Distribution.pareto: shape <= 0";
+  if scale <= 0.0 then invalid_arg "Distribution.pareto: scale <= 0";
+  {
+    name = Printf.sprintf "pareto(%.6g,%.6g)" shape scale;
+    pdf =
+      (fun x ->
+        if x < scale then 0.0
+        else shape *. (scale ** shape) /. (x ** (shape +. 1.0)));
+    log_pdf =
+      (fun x ->
+        if x < scale then Float.neg_infinity
+        else log shape +. (shape *. log scale) -. ((shape +. 1.0) *. log x));
+    cdf = (fun x -> if x < scale then 0.0 else 1.0 -. ((scale /. x) ** shape));
+    quantile = (fun p -> check_p p; scale /. ((1.0 -. p) ** (1.0 /. shape)));
+    mean = (if shape > 1.0 then shape *. scale /. (shape -. 1.0) else Float.infinity);
+    variance =
+      (if shape > 2.0 then
+         scale *. scale *. shape
+         /. ((shape -. 1.0) *. (shape -. 1.0) *. (shape -. 2.0))
+       else Float.infinity);
+    sample = (fun rng -> Prng.Sampler.pareto rng ~shape ~scale);
+  }

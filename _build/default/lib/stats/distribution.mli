@@ -1,0 +1,44 @@
+(** First-class continuous distributions.
+
+    A distribution packages pdf/cdf/quantile/moments/sampling behind one
+    record so the analytical machinery (Bayes-error integrals, exact
+    sample-variance laws) is generic in the underlying law. *)
+
+type t = {
+  name : string;
+  pdf : float -> float;
+  log_pdf : float -> float;
+  cdf : float -> float;
+  quantile : float -> float;  (** p in (0,1) *)
+  mean : float;
+  variance : float;
+  sample : Prng.Rng.t -> float;
+}
+
+val normal : mu:float -> sigma:float -> t
+(** [sigma > 0]. *)
+
+val uniform : lo:float -> hi:float -> t
+(** [lo < hi]. *)
+
+val exponential : rate:float -> t
+(** [rate > 0]. *)
+
+val gamma : shape:float -> scale:float -> t
+(** [shape > 0], [scale > 0].  Sampling by Marsaglia–Tsang; quantile by
+    bracketed root search on the CDF. *)
+
+val chi_square : dof:int -> t
+(** [dof >= 1].  Gamma(dof/2, 2).  Exact law of (n-1)S²/σ² for normal
+    samples — the backbone of the exact sample-variance detection rate. *)
+
+val scaled_chi_square : dof:int -> sigma2:float -> t
+(** Law of the sample variance S² itself for a normal population with
+    variance [sigma2] and sample size dof+1: Gamma(dof/2, 2*sigma2/dof). *)
+
+val lognormal : mu:float -> sigma:float -> t
+(** exp of N(mu, sigma²); [sigma > 0]. *)
+
+val pareto : shape:float -> scale:float -> t
+(** Pareto type-I; mean/variance are [infinity] when undefined
+    (shape <= 1 resp. <= 2). *)

@@ -1,0 +1,25 @@
+(** Hypothesis tests used to validate the paper's modelling assumptions
+    (§4: PIATs are normal; §5 Fig. 4(a): "almost bell-shaped"). *)
+
+type result = {
+  statistic : float;
+  p_value : float;
+}
+
+val ks_test : float array -> cdf:(float -> float) -> result
+(** One-sample Kolmogorov–Smirnov against a fully-specified continuous CDF.
+    P-value from the asymptotic Kolmogorov distribution with the
+    Stephens small-sample correction.  Raises on empty input. *)
+
+val jarque_bera : float array -> result
+(** Normality test from sample skewness and kurtosis; chi-square(2)
+    asymptotics.  Requires n >= 8 for the asymptotics to be meaningful
+    (raises below). *)
+
+val chi_square_gof : observed:int array -> expected:float array -> result
+(** Pearson chi-square goodness of fit.  [expected] entries must be
+    positive; arrays must agree in length; dof = bins - 1. *)
+
+val kolmogorov_sf : float -> float
+(** Survival function of the Kolmogorov distribution, Q(λ) = 2 Σ (-1)^(k-1)
+    exp(-2 k² λ²); exposed for tests. *)

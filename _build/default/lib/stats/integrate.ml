@@ -1,0 +1,31 @@
+let simpson_panel f a fa b fb =
+  let m = 0.5 *. (a +. b) in
+  let fm = f m in
+  (m, fm, (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb))
+
+let simpson ?(eps = 1e-10) ?(max_depth = 50) f ~lo ~hi =
+  if lo = hi then 0.0
+  else
+    let sign, a, b = if lo < hi then (1.0, lo, hi) else (-1.0, hi, lo) in
+    let fa = f a and fb = f b in
+    let m, fm, whole = simpson_panel f a fa b fb in
+    let rec go a fa b fb m fm whole eps depth =
+      let lm, flm, left = simpson_panel f a fa m fm in
+      let rm, frm, right = simpson_panel f m fm b fb in
+      let delta = left +. right -. whole in
+      if depth >= max_depth || Float.abs delta <= 15.0 *. eps then
+        left +. right +. (delta /. 15.0)
+      else
+        go a fa m fm lm flm left (eps /. 2.0) (depth + 1)
+        +. go m fm b fb rm frm right (eps /. 2.0) (depth + 1)
+    in
+    sign *. go a fa b fb m fm whole eps 0
+
+let trapezoid f ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Integrate.trapezoid: n < 1";
+  let h = (hi -. lo) /. float_of_int n in
+  let acc = ref (0.5 *. (f lo +. f hi)) in
+  for i = 1 to n - 1 do
+    acc := !acc +. f (lo +. (float_of_int i *. h))
+  done;
+  !acc *. h

@@ -1,0 +1,32 @@
+(** Gaussian kernel density estimation.
+
+    The adversary's training phase (paper §3.3, citing Silverman 1986) fits
+    the class-conditional PDF of each feature with a Gaussian kernel
+    estimator; histograms are "too coarse" for the Bayes rule.  Evaluation
+    is exact O(n) per query — training sets here are a few hundred feature
+    values, so no tree acceleration is needed. *)
+
+type t
+
+val fit : ?bandwidth:float -> float array -> t
+(** [fit xs] fits a KDE.  Default bandwidth is Silverman's rule of thumb,
+    h = 0.9 * min(std, IQR/1.34) * n^(-1/5), with a floor that keeps the
+    estimator proper when the data are (nearly) constant.  Raises on empty
+    input or non-positive explicit [bandwidth]. *)
+
+val bandwidth : t -> float
+val sample_size : t -> int
+
+val pdf : t -> float -> float
+(** Density estimate at a point (always > 0). *)
+
+val log_pdf : t -> float -> float
+(** Log-density via log-sum-exp; stable far in the tails where {!pdf}
+    underflows to 0. *)
+
+val cdf : t -> float -> float
+(** Smoothed distribution function (mean of kernel CDFs). *)
+
+val support : t -> float * float
+(** [(lo, hi)] range covering all mass except ~1e-9 per tail: data range
+    widened by 6 bandwidths.  Used to bracket threshold searches. *)

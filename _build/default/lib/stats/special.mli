@@ -1,0 +1,33 @@
+(** Special functions needed by the statistical machinery.
+
+    Accuracy targets are ~1e-12 relative for the erf family and the Lanczos
+    log-gamma, and ~1e-10 for the regularized incomplete gamma — ample for
+    detection-rate work where simulation noise dominates. *)
+
+val erf : float -> float
+(** Error function. *)
+
+val erfc : float -> float
+(** Complementary error function, accurate for large arguments. *)
+
+val log_gamma : float -> float
+(** Natural log of the Gamma function, [x > 0].  Lanczos approximation. *)
+
+val gamma_p : a:float -> x:float -> float
+(** Regularized lower incomplete gamma P(a, x), [a > 0], [x >= 0]. *)
+
+val gamma_q : a:float -> x:float -> float
+(** Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x). *)
+
+val normal_pdf : mu:float -> sigma:float -> float -> float
+(** Gaussian density, [sigma > 0]. *)
+
+val normal_cdf : mu:float -> sigma:float -> float -> float
+(** Gaussian distribution function, [sigma > 0]. *)
+
+val normal_quantile : mu:float -> sigma:float -> float -> float
+(** Inverse Gaussian CDF for p in (0, 1).  Acklam's rational approximation
+    refined with one Halley step (~1e-15 absolute on the unit normal). *)
+
+val log_normal_pdf : mu:float -> sigma:float -> float -> float
+(** Log of {!normal_pdf}, stable in the tails. *)

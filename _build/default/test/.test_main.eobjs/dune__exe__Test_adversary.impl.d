@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Alcotest Array Float Fun Gen List Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_analytical.ml: Alcotest Analytical Array Float List Printf Prng QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_descriptive.ml: Alcotest Array Float Gen Prng QCheck QCheck_alcotest Stats String

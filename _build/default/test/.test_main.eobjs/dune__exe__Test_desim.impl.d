@@ -1,0 +1,1 @@
+test/test_desim.ml: Alcotest Desim Float Gen List Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Adversary Alcotest Analytical Array Desim Filename Float Fun List Netsim Padding Printf Prng Scenarios Stats String Sys

@@ -1,0 +1,1 @@
+test/test_fourier.ml: Alcotest Array Float Gen List Printf Prng QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_integration.ml: Adversary Alcotest Array Float Format Linkpad List Padding Scenarios Stats String

@@ -1,0 +1,1 @@
+test/test_kde.ml: Alcotest Array Float Gen List Prng QCheck QCheck_alcotest Stats

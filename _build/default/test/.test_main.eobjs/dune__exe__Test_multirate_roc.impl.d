@@ -1,0 +1,1 @@
+test/test_multirate_roc.ml: Adversary Alcotest Analytical Array Float List Printf Prng Stats

@@ -1,0 +1,1 @@
+test/test_padding.ml: Alcotest Array Desim Float List Netsim Padding Prng Stats

@@ -1,0 +1,1 @@
+test/test_proc.ml: Alcotest Array Desim Float List Netsim Padding Prng

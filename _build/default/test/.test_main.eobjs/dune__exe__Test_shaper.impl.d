@@ -1,0 +1,1 @@
+test/test_shaper.ml: Alcotest Desim Netsim Printf Prng

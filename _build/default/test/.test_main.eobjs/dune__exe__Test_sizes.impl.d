@@ -1,0 +1,1 @@
+test/test_sizes.ml: Adversary Alcotest Array Desim Float List Netsim Padding Prng

@@ -1,0 +1,1 @@
+test/test_special.ml: Alcotest Float List Stats

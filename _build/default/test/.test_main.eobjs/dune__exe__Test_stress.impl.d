@@ -1,0 +1,1 @@
+test/test_stress.ml: Adversary Alcotest Array Desim Float List Netsim Padding Printf Prng Scenarios

@@ -1,0 +1,202 @@
+(* Discrete-event core: event queue ordering, clock semantics,
+   cancellation, periodic trains. *)
+
+let test_queue_orders_by_time () =
+  let q = Desim.Event_queue.create () in
+  List.iter (fun (t, v) -> Desim.Event_queue.push q ~time:t v)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  let pop () = match Desim.Event_queue.pop q with
+    | Some (_, v) -> v
+    | None -> Alcotest.fail "unexpected empty"
+  in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "drained" true (Desim.Event_queue.is_empty q)
+
+let test_queue_fifo_on_ties () =
+  let q = Desim.Event_queue.create () in
+  for i = 0 to 9 do
+    Desim.Event_queue.push q ~time:5.0 i
+  done;
+  for i = 0 to 9 do
+    match Desim.Event_queue.pop q with
+    | Some (_, v) -> Alcotest.(check int) "insertion order" i v
+    | None -> Alcotest.fail "empty"
+  done
+
+let test_queue_peek () =
+  let q = Desim.Event_queue.create () in
+  Alcotest.(check (option (float 0.0))) "empty peek" None
+    (Desim.Event_queue.peek_time q);
+  Desim.Event_queue.push q ~time:7.0 ();
+  Alcotest.(check (option (float 0.0))) "peek" (Some 7.0)
+    (Desim.Event_queue.peek_time q);
+  Alcotest.(check int) "size" 1 (Desim.Event_queue.size q)
+
+let test_queue_nan_rejected () =
+  let q = Desim.Event_queue.create () in
+  Alcotest.check_raises "NaN" (Invalid_argument "Event_queue.push: NaN time")
+    (fun () -> Desim.Event_queue.push q ~time:Float.nan ())
+
+let test_queue_heap_property_random () =
+  let rng = Prng.Rng.create ~seed:91 in
+  let q = Desim.Event_queue.create () in
+  for _ = 1 to 10_000 do
+    Desim.Event_queue.push q ~time:(Prng.Rng.float rng) ()
+  done;
+  let prev = ref Float.neg_infinity in
+  let rec drain () =
+    match Desim.Event_queue.pop q with
+    | None -> ()
+    | Some (t, ()) ->
+        if t < !prev then Alcotest.failf "out of order: %f after %f" t !prev;
+        prev := t;
+        drain ()
+  in
+  drain ()
+
+let test_sim_clock_advances () =
+  let sim = Desim.Sim.create () in
+  let seen = ref [] in
+  ignore (Desim.Sim.at sim ~time:2.0 (fun () -> seen := 2 :: !seen));
+  ignore (Desim.Sim.at sim ~time:1.0 (fun () -> seen := 1 :: !seen));
+  Desim.Sim.run_until sim ~time:1.5;
+  Alcotest.(check (list int)) "only first ran" [ 1 ] !seen;
+  Alcotest.(check (float 0.0)) "clock at horizon" 1.5 (Desim.Sim.now sim);
+  Desim.Sim.run_until sim ~time:3.0;
+  Alcotest.(check (list int)) "both ran" [ 2; 1 ] !seen
+
+let test_sim_past_scheduling_rejected () =
+  let sim = Desim.Sim.create () in
+  Desim.Sim.run_until sim ~time:5.0;
+  Alcotest.check_raises "past" (Invalid_argument "Sim.at: time in the past")
+    (fun () -> ignore (Desim.Sim.at sim ~time:4.0 (fun () -> ())));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.after: negative delay") (fun () ->
+      ignore (Desim.Sim.after sim ~delay:(-1.0) (fun () -> ())))
+
+let test_sim_cancellation () =
+  let sim = Desim.Sim.create () in
+  let ran = ref false in
+  let h = Desim.Sim.at sim ~time:1.0 (fun () -> ran := true) in
+  Desim.Sim.cancel h;
+  Alcotest.(check bool) "marked" true (Desim.Sim.cancelled h);
+  Desim.Sim.run_until sim ~time:2.0;
+  Alcotest.(check bool) "never ran" false !ran
+
+let test_sim_callbacks_can_schedule () =
+  let sim = Desim.Sim.create () in
+  let log = ref [] in
+  ignore
+    (Desim.Sim.at sim ~time:1.0 (fun () ->
+         log := "outer" :: !log;
+         ignore (Desim.Sim.after sim ~delay:0.5 (fun () -> log := "inner" :: !log))));
+  Desim.Sim.run_until sim ~time:2.0;
+  Alcotest.(check (list string)) "nested ran in order" [ "inner"; "outer" ] !log
+
+let test_sim_same_time_cascade () =
+  (* An event scheduling another at the *same* instant must run within the
+     same run_until. *)
+  let sim = Desim.Sim.create () in
+  let count = ref 0 in
+  ignore
+    (Desim.Sim.at sim ~time:1.0 (fun () ->
+         incr count;
+         ignore (Desim.Sim.at sim ~time:1.0 (fun () -> incr count))));
+  Desim.Sim.run_until sim ~time:1.0;
+  Alcotest.(check int) "both ran" 2 !count
+
+let test_every_fixed_interval () =
+  let sim = Desim.Sim.create () in
+  let times = ref [] in
+  let h =
+    Desim.Sim.every sim ~interval:(fun () -> 1.0) (fun () ->
+        times := Desim.Sim.now sim :: !times)
+  in
+  Desim.Sim.run_until sim ~time:5.5;
+  Alcotest.(check (list (float 1e-12))) "ticked at 1..5"
+    [ 5.0; 4.0; 3.0; 2.0; 1.0 ] !times;
+  Desim.Sim.cancel h;
+  Desim.Sim.run_until sim ~time:10.0;
+  Alcotest.(check int) "no ticks after cancel" 5 (List.length !times)
+
+let test_every_random_interval_redrawn () =
+  (* With a strictly increasing interval function, gaps must increase:
+     proves the interval is re-drawn each period, which is what makes a
+     VIT timer variable. *)
+  let sim = Desim.Sim.create () in
+  let step = ref 0.0 in
+  let times = ref [] in
+  ignore
+    (Desim.Sim.every sim
+       ~interval:(fun () ->
+         step := !step +. 1.0;
+         !step)
+       (fun () -> times := Desim.Sim.now sim :: !times));
+  Desim.Sim.run_until sim ~time:11.0;
+  (* fires at 1, 3, 6, 10 *)
+  Alcotest.(check (list (float 1e-12))) "growing gaps" [ 10.0; 6.0; 3.0; 1.0 ] !times
+
+let test_every_start_override () =
+  let sim = Desim.Sim.create () in
+  let first = ref None in
+  ignore
+    (Desim.Sim.every sim ~start:0.25
+       ~interval:(fun () -> 1.0)
+       (fun () -> if !first = None then first := Some (Desim.Sim.now sim)));
+  Desim.Sim.run_until sim ~time:2.0;
+  Alcotest.(check (option (float 1e-12))) "first at start" (Some 0.25) !first
+
+let test_run_all_budget () =
+  let sim = Desim.Sim.create () in
+  let rec loop () = ignore (Desim.Sim.after sim ~delay:1.0 loop) in
+  loop ();
+  Alcotest.check_raises "budget" (Failure "Sim.run_all: event budget exceeded")
+    (fun () -> Desim.Sim.run_all ~max_events:100 sim)
+
+let test_pending_count () =
+  let sim = Desim.Sim.create () in
+  ignore (Desim.Sim.at sim ~time:1.0 (fun () -> ()));
+  ignore (Desim.Sim.at sim ~time:2.0 (fun () -> ()));
+  Alcotest.(check int) "two pending" 2 (Desim.Sim.pending sim);
+  Desim.Sim.run_until sim ~time:3.0;
+  Alcotest.(check int) "drained" 0 (Desim.Sim.pending sim)
+
+let prop_queue_is_sort =
+  QCheck.Test.make ~name:"event queue drains as a stable sort" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 200) (float_bound_exclusive 100.0))
+    (fun times ->
+      let q = Desim.Event_queue.create () in
+      List.iteri (fun i t -> Desim.Event_queue.push q ~time:t i) times;
+      let rec drain acc =
+        match Desim.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, i) -> drain ((t, i) :: acc)
+      in
+      let drained = drain [] in
+      let expected =
+        List.mapi (fun i t -> (t, i)) times
+        |> List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2)
+      in
+      drained = expected)
+
+let suite =
+  [
+    Alcotest.test_case "queue time order" `Quick test_queue_orders_by_time;
+    Alcotest.test_case "queue FIFO ties" `Quick test_queue_fifo_on_ties;
+    Alcotest.test_case "queue peek/size" `Quick test_queue_peek;
+    Alcotest.test_case "queue rejects NaN" `Quick test_queue_nan_rejected;
+    Alcotest.test_case "queue random heap property" `Quick test_queue_heap_property_random;
+    Alcotest.test_case "clock advances" `Quick test_sim_clock_advances;
+    Alcotest.test_case "no scheduling in the past" `Quick test_sim_past_scheduling_rejected;
+    Alcotest.test_case "cancellation" `Quick test_sim_cancellation;
+    Alcotest.test_case "nested scheduling" `Quick test_sim_callbacks_can_schedule;
+    Alcotest.test_case "same-instant cascade" `Quick test_sim_same_time_cascade;
+    Alcotest.test_case "every: fixed interval" `Quick test_every_fixed_interval;
+    Alcotest.test_case "every: interval re-drawn" `Quick test_every_random_interval_redrawn;
+    Alcotest.test_case "every: start override" `Quick test_every_start_override;
+    Alcotest.test_case "run_all event budget" `Quick test_run_all_budget;
+    Alcotest.test_case "pending count" `Quick test_pending_count;
+    QCheck_alcotest.to_alcotest prop_queue_is_sort;
+  ]

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "traffic-analysis-repro"
+    [
+      ("prng.rng", Test_rng.suite);
+      ("prng.sampler", Test_sampler.suite);
+      ("stats.special", Test_special.suite);
+      ("stats.descriptive", Test_descriptive.suite);
+      ("stats.histogram", Test_histogram.suite);
+      ("stats.entropy", Test_entropy.suite);
+      ("stats.kde", Test_kde.suite);
+      ("stats.distribution", Test_distribution.suite);
+      ("stats.numerics", Test_numerics.suite);
+      ("stats.fourier", Test_fourier.suite);
+      ("desim", Test_desim.suite);
+      ("desim.proc", Test_proc.suite);
+      ("netsim", Test_netsim.suite);
+      ("netsim.shaper", Test_shaper.suite);
+      ("padding", Test_padding.suite);
+      ("adversary", Test_adversary.suite);
+      ("analytical", Test_analytical.suite);
+      ("extensions", Test_extensions.suite);
+      ("multirate+roc", Test_multirate_roc.suite);
+      ("sizes", Test_sizes.suite);
+      ("integration", Test_integration.suite);
+      ("stress", Test_stress.suite);
+    ]

@@ -1,0 +1,162 @@
+(* Effects-based process layer: sleep semantics, interleaving with raw
+   callbacks, mailboxes, and a process-style traffic source driving the
+   ordinary padding gateway. *)
+
+let close ?(tol = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let test_sleep_advances_time () =
+  let sim = Desim.Sim.create () in
+  let log = ref [] in
+  Desim.Proc.spawn sim (fun () ->
+      log := ("start", Desim.Proc.now ()) :: !log;
+      Desim.Proc.sleep 1.5;
+      log := ("mid", Desim.Proc.now ()) :: !log;
+      Desim.Proc.sleep 0.5;
+      log := ("end", Desim.Proc.now ()) :: !log);
+  Desim.Sim.run_until sim ~time:10.0;
+  match List.rev !log with
+  | [ ("start", t0); ("mid", t1); ("end", t2) ] ->
+      close "t0" 0.0 t0;
+      close "t1" 1.5 t1;
+      close "t2" 2.0 t2
+  | _ -> Alcotest.fail "wrong step sequence"
+
+let test_sleep_partial_run () =
+  let sim = Desim.Sim.create () in
+  let reached = ref false in
+  Desim.Proc.spawn sim (fun () ->
+      Desim.Proc.sleep 5.0;
+      reached := true);
+  Desim.Sim.run_until sim ~time:3.0;
+  Alcotest.(check bool) "still suspended" false !reached;
+  Desim.Sim.run_until sim ~time:6.0;
+  Alcotest.(check bool) "resumed" true !reached
+
+let test_negative_sleep_rejected () =
+  let sim = Desim.Sim.create () in
+  let failed = ref false in
+  Desim.Proc.spawn sim (fun () ->
+      try Desim.Proc.sleep (-1.0) with Invalid_argument _ -> failed := true);
+  Desim.Sim.run_until sim ~time:1.0;
+  Alcotest.(check bool) "raised inside process" true !failed
+
+let test_processes_interleave_with_callbacks () =
+  let sim = Desim.Sim.create () in
+  let log = ref [] in
+  ignore (Desim.Sim.at sim ~time:1.0 (fun () -> log := "cb@1" :: !log));
+  Desim.Proc.spawn sim (fun () ->
+      Desim.Proc.sleep 0.5;
+      log := "proc@0.5" :: !log;
+      Desim.Proc.sleep 1.0;
+      log := "proc@1.5" :: !log);
+  Desim.Sim.run_until sim ~time:2.0;
+  Alcotest.(check (list string)) "time-ordered interleaving"
+    [ "proc@0.5"; "cb@1"; "proc@1.5" ]
+    (List.rev !log)
+
+let test_two_processes_independent () =
+  let sim = Desim.Sim.create () in
+  let counts = Array.make 2 0 in
+  let ticker i period =
+    Desim.Proc.spawn sim (fun () ->
+        for _ = 1 to 10 do
+          Desim.Proc.sleep period;
+          counts.(i) <- counts.(i) + 1
+        done)
+  in
+  ticker 0 1.0;
+  ticker 1 0.25;
+  Desim.Sim.run_until sim ~time:3.9;
+  Alcotest.(check int) "slow ticker" 3 counts.(0);
+  Alcotest.(check int) "fast ticker capped at loop bound" 10 counts.(1)
+
+let test_mailbox_rendezvous () =
+  let sim = Desim.Sim.create () in
+  let mbox = Desim.Proc.Mailbox.create () in
+  let received = ref [] in
+  Desim.Proc.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        received := Desim.Proc.Mailbox.recv mbox :: !received
+      done);
+  Desim.Proc.spawn sim (fun () ->
+      Desim.Proc.sleep 1.0;
+      Desim.Proc.Mailbox.send mbox "a";
+      Desim.Proc.sleep 1.0;
+      Desim.Proc.Mailbox.send mbox "b";
+      Desim.Proc.Mailbox.send mbox "c");
+  Desim.Sim.run_until sim ~time:5.0;
+  Alcotest.(check (list string)) "in order" [ "a"; "b"; "c" ] (List.rev !received)
+
+let test_mailbox_buffering_and_try_recv () =
+  let mbox = Desim.Proc.Mailbox.create () in
+  Desim.Proc.Mailbox.send mbox 1;
+  Desim.Proc.Mailbox.send mbox 2;
+  Alcotest.(check int) "buffered" 2 (Desim.Proc.Mailbox.length mbox);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Desim.Proc.Mailbox.try_recv mbox);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Desim.Proc.Mailbox.try_recv mbox);
+  Alcotest.(check (option int)) "empty" None (Desim.Proc.Mailbox.try_recv mbox)
+
+let test_mailbox_send_from_callback () =
+  let sim = Desim.Sim.create () in
+  let mbox = Desim.Proc.Mailbox.create () in
+  let got = ref None in
+  Desim.Proc.spawn sim (fun () -> got := Some (Desim.Proc.Mailbox.recv mbox));
+  ignore (Desim.Sim.at sim ~time:2.0 (fun () -> Desim.Proc.Mailbox.send mbox 42));
+  Desim.Sim.run_until sim ~time:3.0;
+  Alcotest.(check (option int)) "delivered across styles" (Some 42) !got
+
+let test_two_receivers_split_stream () =
+  let sim = Desim.Sim.create () in
+  let mbox = Desim.Proc.Mailbox.create () in
+  let total = ref 0 in
+  for _ = 1 to 2 do
+    Desim.Proc.spawn sim (fun () ->
+        for _ = 1 to 2 do
+          total := !total + Desim.Proc.Mailbox.recv mbox
+        done)
+  done;
+  Desim.Proc.spawn sim (fun () ->
+      for i = 1 to 4 do
+        Desim.Proc.sleep 0.1;
+        Desim.Proc.Mailbox.send mbox i
+      done);
+  Desim.Sim.run_until sim ~time:2.0;
+  Alcotest.(check int) "each message consumed once" 10 !total;
+  Alcotest.(check int) "nothing left over" 0 (Desim.Proc.Mailbox.length mbox)
+
+let test_process_style_payload_source_drives_gateway () =
+  (* A CBR payload source written as a process, feeding the ordinary
+     padding gateway: the two programming styles compose. *)
+  let sim = Desim.Sim.create () in
+  let rng = Prng.Rng.create ~seed:271 in
+  let tap = Netsim.Tap.create sim ~dest:(fun _ -> ()) () in
+  let gw =
+    Padding.Gateway.create sim ~rng ~timer:(Padding.Timer.Constant 0.01)
+      ~jitter:Padding.Jitter.none ~dest:(Netsim.Tap.port tap) ()
+  in
+  Desim.Proc.spawn sim (fun () ->
+      for _ = 1 to 100 do
+        Desim.Proc.sleep 0.025;
+        Padding.Gateway.input gw
+          (Netsim.Packet.make ~kind:Netsim.Packet.Payload ~size_bytes:500
+             ~created:(Desim.Proc.now ()))
+      done);
+  Desim.Sim.run_until sim ~time:10.0;
+  Alcotest.(check int) "payload forwarded" 100 (Padding.Gateway.payload_sent gw);
+  Alcotest.(check int) "wire rate unchanged" 1000 (Padding.Gateway.fires gw)
+
+let suite =
+  [
+    Alcotest.test_case "sleep advances time" `Quick test_sleep_advances_time;
+    Alcotest.test_case "sleep across run_until" `Quick test_sleep_partial_run;
+    Alcotest.test_case "negative sleep" `Quick test_negative_sleep_rejected;
+    Alcotest.test_case "interleaves with callbacks" `Quick test_processes_interleave_with_callbacks;
+    Alcotest.test_case "two processes" `Quick test_two_processes_independent;
+    Alcotest.test_case "mailbox rendezvous" `Quick test_mailbox_rendezvous;
+    Alcotest.test_case "mailbox buffering" `Quick test_mailbox_buffering_and_try_recv;
+    Alcotest.test_case "send from callback" `Quick test_mailbox_send_from_callback;
+    Alcotest.test_case "two receivers" `Quick test_two_receivers_split_stream;
+    Alcotest.test_case "process source + gateway" `Quick test_process_style_payload_source_drives_gateway;
+  ]

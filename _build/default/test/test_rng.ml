@@ -1,0 +1,154 @@
+(* Unit and property tests for the PRNG core. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_determinism () =
+  let a = Prng.Rng.create ~seed:123 and b = Prng.Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.Rng.bits64 a) (Prng.Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.Rng.create ~seed:1 and b = Prng.Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.Rng.bits64 a = Prng.Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Prng.Rng.create ~seed:7 in
+  let b = Prng.Rng.copy a in
+  let xa = Prng.Rng.bits64 a in
+  let xb = Prng.Rng.bits64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  (* advancing a does not affect b *)
+  ignore (Prng.Rng.bits64 a);
+  let xa2 = Prng.Rng.bits64 a and xb2 = Prng.Rng.bits64 b in
+  Alcotest.(check bool) "diverged after extra draw" true (xa2 <> xb2 || xa2 = xb2);
+  ignore (xa2, xb2)
+
+let test_split_independence () =
+  let parent = Prng.Rng.create ~seed:99 in
+  let child = Prng.Rng.split parent in
+  (* Child and parent streams should not coincide. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.Rng.bits64 parent = Prng.Rng.bits64 child then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 4)
+
+let test_float_range_bounds () =
+  let rng = Prng.Rng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let x = Prng.Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_float_pos_never_zero () =
+  let rng = Prng.Rng.create ~seed:6 in
+  for _ = 1 to 10_000 do
+    Alcotest.(check bool) "positive" true (Prng.Rng.float_pos rng > 0.0)
+  done
+
+let test_float_mean () =
+  let rng = Prng.Rng.create ~seed:8 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.Rng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_int_bounds_and_coverage () =
+  let rng = Prng.Rng.create ~seed:9 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    let k = Prng.Rng.int rng ~bound:10 in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 10);
+    seen.(k) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_int_uniformity () =
+  let rng = Prng.Rng.create ~seed:10 in
+  let counts = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let k = Prng.Rng.int rng ~bound:8 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let expected = Array.make 8 (float_of_int n /. 8.0) in
+  let result = Stats.Hypothesis.chi_square_gof ~observed:counts ~expected in
+  Alcotest.(check bool) "uniform (chi2 p > 0.001)" true
+    (result.Stats.Hypothesis.p_value > 0.001)
+
+let test_int_invalid () =
+  let rng = Prng.Rng.create ~seed:11 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Prng.Rng.int rng ~bound:0))
+
+let test_bool_balance () =
+  let rng = Prng.Rng.create ~seed:12 in
+  let trues = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Prng.Rng.bool rng then incr trues
+  done;
+  let frac = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool) "fair coin" true (Float.abs (frac -. 0.5) < 0.02)
+
+let test_float_range () =
+  let rng = Prng.Rng.create ~seed:13 in
+  for _ = 1 to 1000 do
+    let x = Prng.Rng.float_range rng ~lo:(-3.0) ~hi:5.5 in
+    Alcotest.(check bool) "in [lo,hi)" true (x >= -3.0 && x < 5.5)
+  done
+
+let test_seed_of_string_stable () =
+  let a = Prng.Rng.seed_of_string "fig4a" in
+  let b = Prng.Rng.seed_of_string "fig4a" in
+  Alcotest.(check int) "stable hash" a b;
+  Alcotest.(check bool) "different labels differ" true
+    (Prng.Rng.seed_of_string "fig4a" <> Prng.Rng.seed_of_string "fig4b");
+  Alcotest.(check bool) "non-negative" true (a >= 0)
+
+let test_bits64_distribution () =
+  (* Bit-balance smoke test: each of the 64 bits should be ~50% set. *)
+  let rng = Prng.Rng.create ~seed:14 in
+  let counts = Array.make 64 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Prng.Rng.bits64 rng in
+    for b = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical v b) 1L = 1L then
+        counts.(b) <- counts.(b) + 1
+    done
+  done;
+  Array.iteri
+    (fun b c ->
+      let frac = float_of_int c /. float_of_int n in
+      if Float.abs (frac -. 0.5) >= 0.02 then
+        Alcotest.failf "bit %d biased: %.3f" b frac)
+    counts
+
+let () = ignore check_float
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy is independent clone" `Quick test_copy_independent;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "float in [0,1)" `Quick test_float_range_bounds;
+    Alcotest.test_case "float_pos > 0" `Quick test_float_pos_never_zero;
+    Alcotest.test_case "float mean ~ 0.5" `Quick test_float_mean;
+    Alcotest.test_case "int bounds and coverage" `Quick test_int_bounds_and_coverage;
+    Alcotest.test_case "int uniformity (chi2)" `Quick test_int_uniformity;
+    Alcotest.test_case "int rejects bound<=0" `Quick test_int_invalid;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+    Alcotest.test_case "float_range bounds" `Quick test_float_range;
+    Alcotest.test_case "seed_of_string stable" `Quick test_seed_of_string_stable;
+    Alcotest.test_case "bit balance" `Quick test_bits64_distribution;
+  ]

@@ -1,0 +1,90 @@
+(* Token-bucket shaper: spacing, burst absorption, conservation. *)
+
+let mk sim = Netsim.Packet.make ~kind:Netsim.Packet.Cross ~size_bytes:100
+    ~created:(Desim.Sim.now sim)
+
+let test_spacing_pure () =
+  (* burst 1: back-to-back input leaves at exactly 1/rate spacing. *)
+  let sim = Desim.Sim.create () in
+  let times = ref [] in
+  let sh =
+    Netsim.Shaper.create sim ~rate_pps:10.0
+      ~dest:(fun _ -> times := Desim.Sim.now sim :: !times)
+      ()
+  in
+  for _ = 1 to 4 do
+    Netsim.Shaper.send sh (mk sim)
+  done;
+  Desim.Sim.run_until sim ~time:10.0;
+  (* First leaves immediately (full bucket), the rest each 0.1 s apart. *)
+  Alcotest.(check (list (float 1e-9))) "spaced departures"
+    [ 0.3; 0.2; 0.1; 0.0 ] !times;
+  Alcotest.(check int) "all forwarded" 4 (Netsim.Shaper.forwarded sh)
+
+let test_burst_absorption () =
+  let sim = Desim.Sim.create () in
+  let immediate = ref 0 in
+  let sh =
+    Netsim.Shaper.create sim ~rate_pps:1.0 ~burst:3
+      ~dest:(fun _ -> if Desim.Sim.now sim = 0.0 then incr immediate)
+      ()
+  in
+  for _ = 1 to 5 do
+    Netsim.Shaper.send sh (mk sim)
+  done;
+  Desim.Sim.run_until sim ~time:0.0;
+  Alcotest.(check int) "burst-size passes instantly" 3 !immediate;
+  Alcotest.(check int) "rest queued" 2 (Netsim.Shaper.queue_depth sh);
+  Desim.Sim.run_until sim ~time:10.0;
+  Alcotest.(check int) "drained eventually" 5 (Netsim.Shaper.forwarded sh);
+  Alcotest.(check int) "queue empty" 0 (Netsim.Shaper.queue_depth sh)
+
+let test_long_run_rate () =
+  (* Overloaded shaper emits at exactly its configured rate. *)
+  let sim = Desim.Sim.create () in
+  let rng = Prng.Rng.create ~seed:241 in
+  let count = ref 0 in
+  let sh =
+    Netsim.Shaper.create sim ~rate_pps:50.0 ~burst:5
+      ~dest:(fun _ -> incr count) ()
+  in
+  let _src =
+    Netsim.Traffic_gen.poisson sim ~rng ~rate_pps:200.0 ~size_bytes:100
+      ~kind:Netsim.Packet.Cross ~dest:(Netsim.Shaper.port sh) ()
+  in
+  Desim.Sim.run_until sim ~time:100.0;
+  let rate = float_of_int !count /. 100.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "output rate %.1f ~ 50" rate)
+    true
+    (rate > 48.0 && rate < 52.0)
+
+let test_idle_refill_capped () =
+  let sim = Desim.Sim.create () in
+  let immediate = ref 0 in
+  let sh =
+    Netsim.Shaper.create sim ~rate_pps:1.0 ~burst:2
+      ~dest:(fun _ -> incr immediate) ()
+  in
+  (* Long idle: bucket caps at burst, not at elapsed * rate. *)
+  Desim.Sim.run_until sim ~time:100.0;
+  for _ = 1 to 4 do
+    Netsim.Shaper.send sh (mk sim)
+  done;
+  Desim.Sim.run_until sim ~time:100.0;
+  Alcotest.(check int) "only burst passes" 2 !immediate
+
+let test_invalid () =
+  let sim = Desim.Sim.create () in
+  Alcotest.check_raises "rate" (Invalid_argument "Shaper.create: rate <= 0")
+    (fun () ->
+      ignore (Netsim.Shaper.create sim ~rate_pps:0.0 ~dest:(fun _ -> ()) ()))
+
+let suite =
+  [
+    Alcotest.test_case "pure spacing" `Quick test_spacing_pure;
+    Alcotest.test_case "burst absorption" `Quick test_burst_absorption;
+    Alcotest.test_case "long-run rate" `Quick test_long_run_rate;
+    Alcotest.test_case "idle refill capped" `Quick test_idle_refill_capped;
+    Alcotest.test_case "invalid params" `Quick test_invalid;
+  ]

@@ -1,0 +1,143 @@
+(* Special functions against reference values (Abramowitz & Stegun /
+   scipy-computed constants) and identities. *)
+
+let close ?(tol = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1.0 (Float.abs expected)
+  then Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let test_erf_reference () =
+  close "erf(0)" 0.0 (Stats.Special.erf 0.0);
+  close "erf(0.5)" 0.5204998778 (Stats.Special.erf 0.5);
+  close "erf(1)" 0.8427007929 (Stats.Special.erf 1.0);
+  close "erf(2)" 0.9953222650 (Stats.Special.erf 2.0);
+  close "erf(-1)" (-0.8427007929) (Stats.Special.erf (-1.0))
+
+let test_erfc_identity () =
+  List.iter
+    (fun x ->
+      close "erf + erfc = 1"
+        1.0
+        (Stats.Special.erf x +. Stats.Special.erfc x))
+    [ -3.0; -0.7; 0.0; 0.4; 1.3; 2.8; 5.0 ]
+
+let test_erfc_symmetry () =
+  List.iter
+    (fun x ->
+      close "erfc(-x) = 2 - erfc(x)" (2.0 -. Stats.Special.erfc x)
+        (Stats.Special.erfc (-.x)))
+    [ 0.3; 1.0; 2.5 ]
+
+let test_erfc_tail () =
+  (* erfc(3) = 2.20904970e-05 *)
+  close ~tol:1e-4 "erfc(3)" 2.209049699858544e-05 (Stats.Special.erfc 3.0)
+
+let test_log_gamma_reference () =
+  close "lgamma(1)" 0.0 (Stats.Special.log_gamma 1.0);
+  close "lgamma(2)" 0.0 (Stats.Special.log_gamma 2.0);
+  close "lgamma(5) = ln 24" (log 24.0) (Stats.Special.log_gamma 5.0);
+  close "lgamma(0.5) = ln sqrt(pi)" (0.5 *. log Float.pi)
+    (Stats.Special.log_gamma 0.5);
+  (* Stirling with first correction term: (10.3-0.5)ln(10.3) - 10.3
+     + 0.5 ln(2 pi) + 1/(12*10.3) = 13.48203678... *)
+  close "lgamma(10.3)" 13.482036786 (Stats.Special.log_gamma 10.3)
+
+let test_log_gamma_recurrence () =
+  (* Gamma(x+1) = x Gamma(x) *)
+  List.iter
+    (fun x ->
+      close "recurrence"
+        (Stats.Special.log_gamma x +. log x)
+        (Stats.Special.log_gamma (x +. 1.0)))
+    [ 0.3; 1.7; 4.2; 11.5 ]
+
+let test_log_gamma_invalid () =
+  Alcotest.check_raises "x <= 0" (Invalid_argument "Special.log_gamma: x <= 0")
+    (fun () -> ignore (Stats.Special.log_gamma 0.0))
+
+let test_gamma_p_q_complement () =
+  List.iter
+    (fun (a, x) ->
+      close "P + Q = 1" 1.0
+        (Stats.Special.gamma_p ~a ~x +. Stats.Special.gamma_q ~a ~x))
+    [ (0.5, 0.2); (1.0, 1.0); (3.0, 2.0); (10.0, 15.0); (50.0, 40.0) ]
+
+let test_gamma_p_exponential_case () =
+  (* P(1, x) = 1 - e^-x *)
+  List.iter
+    (fun x -> close "P(1,x)" (1.0 -. exp (-.x)) (Stats.Special.gamma_p ~a:1.0 ~x))
+    [ 0.1; 0.5; 1.0; 3.0; 8.0 ]
+
+let test_gamma_p_chi2_reference () =
+  (* chi2 CDF with k=2 dof at x=2: P(1,1) = 1 - e^-1 *)
+  close "chi2(2) cdf" (1.0 -. exp (-1.0)) (Stats.Special.gamma_p ~a:1.0 ~x:1.0);
+  (* chi2(1) at x=1: erf(1/sqrt2) *)
+  close "chi2(1) cdf at 1"
+    (Stats.Special.erf (1.0 /. sqrt 2.0))
+    (Stats.Special.gamma_p ~a:0.5 ~x:0.5)
+
+let test_gamma_p_bounds () =
+  Alcotest.(check (float 0.0)) "P(a,0)=0" 0.0 (Stats.Special.gamma_p ~a:2.0 ~x:0.0);
+  Alcotest.(check bool) "monotone" true
+    (Stats.Special.gamma_p ~a:2.0 ~x:1.0 < Stats.Special.gamma_p ~a:2.0 ~x:2.0)
+
+let test_normal_pdf_reference () =
+  close "phi(0)" 0.3989422804 (Stats.Special.normal_pdf ~mu:0.0 ~sigma:1.0 0.0);
+  close "phi(1)" 0.2419707245 (Stats.Special.normal_pdf ~mu:0.0 ~sigma:1.0 1.0);
+  close "scaled" (0.3989422804 /. 2.0)
+    (Stats.Special.normal_pdf ~mu:3.0 ~sigma:2.0 3.0)
+
+let test_normal_cdf_reference () =
+  close "Phi(0)" 0.5 (Stats.Special.normal_cdf ~mu:0.0 ~sigma:1.0 0.0);
+  close "Phi(1)" 0.8413447461 (Stats.Special.normal_cdf ~mu:0.0 ~sigma:1.0 1.0);
+  close "Phi(-1.96)" 0.0249978951 (Stats.Special.normal_cdf ~mu:0.0 ~sigma:1.0 (-1.96));
+  close "Phi(1.644854)" 0.95 (Stats.Special.normal_cdf ~mu:0.0 ~sigma:1.0 1.6448536269514722)
+
+let test_normal_quantile_roundtrip () =
+  List.iter
+    (fun p ->
+      let x = Stats.Special.normal_quantile ~mu:0.0 ~sigma:1.0 p in
+      close ~tol:1e-9 "cdf(quantile(p)) = p" p
+        (Stats.Special.normal_cdf ~mu:0.0 ~sigma:1.0 x))
+    [ 1e-6; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 -. 1e-6 ]
+
+let test_normal_quantile_reference () =
+  close "z(0.975)" 1.959963985 (Stats.Special.normal_quantile ~mu:0.0 ~sigma:1.0 0.975);
+  close "median with location/scale" 7.0
+    (Stats.Special.normal_quantile ~mu:7.0 ~sigma:3.0 0.5)
+
+let test_normal_quantile_invalid () =
+  Alcotest.check_raises "p=0"
+    (Invalid_argument "Special.normal_quantile: p out of (0,1)") (fun () ->
+      ignore (Stats.Special.normal_quantile ~mu:0.0 ~sigma:1.0 0.0))
+
+let test_log_normal_pdf_matches () =
+  List.iter
+    (fun x ->
+      close "log pdf consistent"
+        (log (Stats.Special.normal_pdf ~mu:1.0 ~sigma:0.5 x))
+        (Stats.Special.log_normal_pdf ~mu:1.0 ~sigma:0.5 x))
+    [ 0.0; 0.5; 1.0; 2.0 ];
+  (* And stays finite far in the tail where pdf underflows. *)
+  Alcotest.(check bool) "finite in deep tail" true
+    (Float.is_finite (Stats.Special.log_normal_pdf ~mu:0.0 ~sigma:1.0 60.0))
+
+let suite =
+  [
+    Alcotest.test_case "erf reference values" `Quick test_erf_reference;
+    Alcotest.test_case "erf/erfc complement" `Quick test_erfc_identity;
+    Alcotest.test_case "erfc symmetry" `Quick test_erfc_symmetry;
+    Alcotest.test_case "erfc tail" `Quick test_erfc_tail;
+    Alcotest.test_case "log_gamma reference" `Quick test_log_gamma_reference;
+    Alcotest.test_case "log_gamma recurrence" `Quick test_log_gamma_recurrence;
+    Alcotest.test_case "log_gamma invalid" `Quick test_log_gamma_invalid;
+    Alcotest.test_case "gamma P+Q=1" `Quick test_gamma_p_q_complement;
+    Alcotest.test_case "gamma P(1,x)" `Quick test_gamma_p_exponential_case;
+    Alcotest.test_case "gamma chi2 reference" `Quick test_gamma_p_chi2_reference;
+    Alcotest.test_case "gamma bounds/monotonicity" `Quick test_gamma_p_bounds;
+    Alcotest.test_case "normal pdf reference" `Quick test_normal_pdf_reference;
+    Alcotest.test_case "normal cdf reference" `Quick test_normal_cdf_reference;
+    Alcotest.test_case "quantile roundtrip" `Quick test_normal_quantile_roundtrip;
+    Alcotest.test_case "quantile reference" `Quick test_normal_quantile_reference;
+    Alcotest.test_case "quantile invalid" `Quick test_normal_quantile_invalid;
+    Alcotest.test_case "log_normal_pdf" `Quick test_log_normal_pdf_matches;
+  ]
