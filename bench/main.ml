@@ -23,7 +23,7 @@ let args =
     ( "--only",
       Arg.Set_string only,
       "LIST comma-separated figure ids (fig4a,fig4b,fig5a,fig5b,fig6,fig8a,\
-       fig8b,multirate,ablations); default all" );
+       fig8b,multirate,faults,ablations); default all" );
     ("--csv", Arg.Set_string csv_dir, "DIR write CSV copies of the tables");
     ("--no-micro", Arg.Clear run_micro, " skip Bechamel micro-benchmarks");
   ]
@@ -63,6 +63,9 @@ let run_figures () =
            ?csv_dir:(csv ()) fmt));
   timed "multirate" (fun () ->
       ignore (Scenarios.Multirate.run ~scale ~seed:(s + 8) ?csv_dir:(csv ()) fmt));
+  timed "faults" (fun () ->
+      ignore
+        (Scenarios.Degradation.run ~scale ~seed:(s + 20) ?csv_dir:(csv ()) fmt));
   timed "ablations" (fun () ->
       ignore (Scenarios.Ablations.run_jitter_models ~scale ~seed:(s + 9) fmt);
       ignore (Scenarios.Ablations.run_vit_laws ~scale ~seed:(s + 10) fmt);
@@ -200,6 +203,16 @@ let () =
   Arg.parse args
     (fun anon -> raise (Arg.Bad ("unexpected argument: " ^ anon)))
     "bench/main.exe -- regenerate the paper's figures and micro-benchmarks";
+  (* Catch bad numbers here rather than as an Invalid_argument (or a
+     nonsense run) deep inside the simulator. *)
+  if not (!scale > 0.0 && Float.is_finite !scale) then begin
+    prerr_endline "bench: --scale must be a positive finite number";
+    exit 2
+  end;
+  if !seed < 0 then begin
+    prerr_endline "bench: --seed must be non-negative";
+    exit 2
+  end;
   let t0 = Unix.gettimeofday () in
   run_figures ();
   if !run_micro then run_micro_benchmarks ();

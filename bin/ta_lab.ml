@@ -6,17 +6,41 @@ open Cmdliner
 
 let fmt = Format.std_formatter
 
+(* Reject bad numbers at the Cmdliner level: a non-positive scale used to
+   propagate until Sim.every raised Invalid_argument deep inside a run. *)
+let pos_float_conv ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 && Float.is_finite f -> Ok f
+    | Some _ -> Error (`Msg (Printf.sprintf "%s must be a positive finite number, got %s" what s))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S (expected a number)" what s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
+let seed_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some i when i >= 0 -> Ok i
+    | Some _ -> Error (`Msg (Printf.sprintf "seed must be non-negative, got %s" s))
+    | None -> Error (`Msg (Printf.sprintf "invalid seed %S (expected an integer)" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let scale_arg =
   let doc = "Workload scale factor (1.0 = paper fidelity; smaller = faster)." in
-  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+  Arg.(value & opt (pos_float_conv ~what:"scale") 1.0
+       & info [ "scale" ] ~docv:"FACTOR" ~doc)
 
 let seed_arg =
   let doc = "Root random seed (every run is deterministic in it)." in
-  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  Arg.(value & opt (some seed_conv) None & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let csv_arg =
-  let doc = "Directory to drop CSV copies of the printed tables into." in
-  Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc)
+  let doc =
+    "Directory to drop CSV copies of the printed tables into (created, \
+     mkdir -p style, if missing)."
+  in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
 let run_figure name f =
   let run scale seed csv_dir =
@@ -59,6 +83,36 @@ let fig8b_cmd =
 let multirate_cmd =
   run_figure "multirate" (fun ~scale ?seed ?csv_dir () ->
       ignore (Scenarios.Multirate.run ~scale ?seed ?csv_dir fmt))
+
+let faults_cmd =
+  let intensities_arg =
+    let doc =
+      "Comma-separated fault intensities in [0,1] to sweep (default \
+       0,0.02,0.05,0.1,0.2,0.4)."
+    in
+    Arg.(value & opt (some (list float)) None
+         & info [ "intensities" ] ~docv:"LIST" ~doc)
+  in
+  let run scale seed csv_dir intensities =
+    match
+      Option.bind intensities (fun xs ->
+          List.find_opt (fun x -> Float.is_nan x || x < 0.0 || x > 1.0) xs)
+    with
+    | Some bad ->
+        `Error (false, Printf.sprintf "intensity %g outside [0, 1]" bad)
+    | None ->
+        Scenarios.Calibration.print_setup fmt;
+        ignore
+          (Scenarios.Degradation.run ~scale ?seed ?csv_dir:csv_dir
+             ?intensities fmt);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Sweep channel-fault intensity; report detection (incl. the \
+          gap-aware adversary) and QoS degradation side by side.")
+    Term.(ret (const run $ scale_arg $ seed_arg $ csv_arg $ intensities_arg))
 
 let ablations_cmd =
   let run scale seed =
@@ -235,8 +289,19 @@ let main_cmd =
     (Cmd.info "ta_lab" ~version:"1.0.0" ~doc)
     [
       setup_cmd; fig4a_cmd; fig4b_cmd; fig5a_cmd; fig5b_cmd; fig6_cmd;
-      fig8a_cmd; fig8b_cmd; multirate_cmd; ablations_cmd; theory_cmd;
-      design_cmd; evaluate_cmd; all_cmd;
+      fig8a_cmd; fig8b_cmd; multirate_cmd; faults_cmd; ablations_cmd;
+      theory_cmd; design_cmd; evaluate_cmd; all_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (* Runtime I/O failures (unwritable --csv target, etc.) carry an
+     actionable message already — print it like a CLI error instead of an
+     uncaught-exception backtrace. *)
+  match Cmd.eval_value ~catch:false main_cmd with
+  | exception Sys_error msg ->
+      Printf.eprintf "ta_lab: %s\n" msg;
+      exit 125
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error `Parse -> exit Cmd.Exit.cli_error
+  | Error `Term -> exit Cmd.Exit.cli_error
+  | Error `Exn -> exit Cmd.Exit.internal_error

@@ -1,0 +1,49 @@
+(* Fault injection: what a lossy, flapping, crash-prone channel does to the
+   padded stream — and why it is NOT a countermeasure.
+
+   The degradation sweep runs the full padded system under increasing fault
+   intensity and scores four adversaries.  Watch the naive mean/variance/
+   entropy classifiers sink toward the 0.5 coin-flip floor as τ-scale holes
+   drown the µs-scale jitter leak, while the gap-aware adversary — which
+   folds every hole back out of the trace — keeps detecting.  The QoS
+   columns show what the faults cost the defender at the same time.
+
+     dune exec examples/fault_injection.exe *)
+
+let fmt = Format.std_formatter
+
+let () =
+  Format.fprintf fmt
+    "=== Graceful degradation under channel faults (reduced scale) ===@.";
+  let points = Scenarios.Degradation.run ~scale:0.35 ~seed:47_000 fmt in
+  (* A single fault family in isolation: bursty Gilbert-Elliott loss. *)
+  Format.fprintf fmt "@.=== Bursty loss only (Gilbert-Elliott) ===@.";
+  let bursty =
+    {
+      Scenarios.Degradation.fault_free with
+      Scenarios.Degradation.loss =
+        Faults.Lossy.Gilbert_elliott
+          {
+            p_good_to_bad = 0.01;
+            p_bad_to_good = 0.3;
+            loss_good = 0.001;
+            loss_bad = 0.5;
+          };
+    }
+  in
+  let p =
+    Scenarios.Degradation.evaluate ~piats:3_000 ~sample_size:150 ~seed:47_100
+      ~profile:bursty ~intensity:0.0 ()
+  in
+  Format.fprintf fmt
+    "expected loss %.4f  observed gap fraction %.4f@.naive variance adversary \
+     %.3f  gap-aware adversary %.3f@."
+    (Faults.Lossy.expected_loss_rate bursty.Scenarios.Degradation.loss)
+    p.Scenarios.Degradation.gap_fraction p.Scenarios.Degradation.v_variance
+    p.Scenarios.Degradation.v_gap;
+  match points with
+  | [] -> ()
+  | p0 :: _ ->
+      Format.fprintf fmt
+        "@.fault-free reference: variance adversary %.3f, gap-aware %.3f@."
+        p0.Scenarios.Degradation.v_variance p0.Scenarios.Degradation.v_gap

@@ -51,7 +51,8 @@ let on_fire t () =
   in
   ignore (Desim.Sim.at t.sim ~time:emit_time (fun () -> t.dest pkt) : Desim.Sim.handle)
 
-let create sim ~rng ~timer ~jitter ?(packet_size = 500) ?queue_limit ~dest () =
+let create sim ~rng ~timer ~jitter ?(packet_size = 500) ?queue_limit ?interval
+    ~dest () =
   Timer.validate timer;
   if packet_size <= 0 then invalid_arg "Gateway.create: packet_size <= 0";
   (match queue_limit with
@@ -76,9 +77,12 @@ let create sim ~rng ~timer ~jitter ?(packet_size = 500) ?queue_limit ~dest () =
       timer_handle = None;
     }
   in
-  let handle =
-    Desim.Sim.every sim ~interval:(fun () -> Timer.draw timer rng) (on_fire t)
+  let interval =
+    match interval with
+    | Some f -> f
+    | None -> fun () -> Timer.draw timer rng
   in
+  let handle = Desim.Sim.every sim ~interval (on_fire t) in
   t.timer_handle <- Some handle;
   t
 

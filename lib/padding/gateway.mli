@@ -17,12 +17,16 @@ val create :
   jitter:Jitter.t ->
   ?packet_size:int ->
   ?queue_limit:int ->
+  ?interval:(unit -> float) ->
   dest:Netsim.Link.port ->
   unit ->
   t
 (** [packet_size] defaults to 500 bytes; [queue_limit] bounds the payload
     queue (default unbounded; overflow drops payload packets and counts
-    them).  The timer starts at creation. *)
+    them).  The timer starts at creation.  [interval] overrides the
+    interval sequence (default: draws from [timer]); the fault-injection
+    library uses it to layer clock drift, missed fires, and coalescing on
+    top of an unmodified gateway. *)
 
 val input : t -> Netsim.Link.port
 (** Port on which payload traffic from the protected subnet arrives.

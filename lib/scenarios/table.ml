@@ -49,8 +49,36 @@ let to_csv t =
   let line cells = String.concat "," (List.map quote_cell cells) in
   String.concat "\n" (line t.columns :: List.map line (rows_in_order t)) ^ "\n"
 
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+    (* lost the race to a concurrent mkdir: fine *)
+  end
+
 let save_csv t ~path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_csv t))
+  let dir = Filename.dirname path in
+  (try mkdir_p dir
+   with Sys_error msg ->
+     raise
+       (Sys_error
+          (Printf.sprintf
+             "Table.save_csv: cannot create directory %s for %s (%s) — pass \
+              a writable --csv directory"
+             dir path msg)));
+  if Sys.file_exists dir && not (Sys.is_directory dir) then
+    raise
+      (Sys_error
+         (Printf.sprintf
+            "Table.save_csv: %s exists but is not a directory — pass a \
+             directory path for CSV output"
+            dir));
+  match open_out path with
+  | exception Sys_error msg ->
+      raise (Sys_error (Printf.sprintf "Table.save_csv: cannot write %s: %s" path msg))
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (to_csv t))

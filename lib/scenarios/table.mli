@@ -17,4 +17,7 @@ val to_csv : t -> string
 (** RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines). *)
 
 val save_csv : t -> path:string -> unit
-(** Write {!to_csv} to a file, creating parent-less paths as given. *)
+(** Write {!to_csv} to [path], creating missing parent directories
+    (mkdir -p semantics).  Failures surface as [Sys_error] with an
+    actionable message naming the offending path instead of the raw
+    [open_out] error. *)

@@ -85,6 +85,86 @@ let test_sim_cancellation () =
   Desim.Sim.run_until sim ~time:2.0;
   Alcotest.(check bool) "never ran" false !ran
 
+let test_sim_cancellation_under_churn () =
+  (* Heavy schedule/cancel churn, including cancellations issued from
+     inside callbacks: exactly the uncancelled events run, each once. *)
+  let sim = Desim.Sim.create () in
+  let rng = Prng.Rng.create ~seed:77 in
+  let n = 2_000 in
+  let runs = Array.make n 0 in
+  let handles =
+    Array.init n (fun i ->
+        Desim.Sim.at sim
+          ~time:(1.0 +. Prng.Rng.float rng)
+          (fun () -> runs.(i) <- runs.(i) + 1))
+  in
+  (* Cancel a third up front... *)
+  let expect = Array.make n true in
+  for i = 0 to n - 1 do
+    if i mod 3 = 0 then begin
+      Desim.Sim.cancel handles.(i);
+      expect.(i) <- false
+    end
+  done;
+  (* ...and another slice from inside a callback that fires mid-run. *)
+  ignore
+    (Desim.Sim.at sim ~time:1.5 (fun () ->
+         for i = 0 to n - 1 do
+           if i mod 3 = 1 && Desim.Sim.cancelled handles.(i) = false then
+             if i mod 6 = 1 then begin
+               Desim.Sim.cancel handles.(i);
+               (* Events at time <= 1.5 have already fired; only the
+                  still-pending ones are suppressed. *)
+               if runs.(i) = 0 then expect.(i) <- false
+             end
+         done)
+      : Desim.Sim.handle);
+  Desim.Sim.run_until sim ~time:3.0;
+  Array.iteri
+    (fun i r ->
+      let want = if expect.(i) then 1 else 0 in
+      if r <> want then Alcotest.failf "event %d ran %d times, wanted %d" i r want)
+    runs;
+  (* Double-cancel stays idempotent. *)
+  Array.iter Desim.Sim.cancel handles
+
+let test_every_rearms_under_churn () =
+  (* A periodic train must keep its period exactly even while thousands of
+     one-shot events are scheduled and cancelled around it. *)
+  let sim = Desim.Sim.create () in
+  let rng = Prng.Rng.create ~seed:78 in
+  let fires = ref [] in
+  let train =
+    Desim.Sim.every sim
+      ~interval:(fun () -> 0.01)
+      (fun () -> fires := Desim.Sim.now sim :: !fires)
+  in
+  let noise () =
+    let h =
+      Desim.Sim.after sim
+        ~delay:(Prng.Sampler.exponential rng ~rate:2_000.0)
+        (fun () -> ())
+    in
+    if Prng.Rng.float rng < 0.5 then Desim.Sim.cancel h
+  in
+  for _ = 1 to 200 do
+    for _ = 1 to 25 do
+      noise ()
+    done;
+    Desim.Sim.run_until sim ~time:(Desim.Sim.now sim +. 0.005)
+  done;
+  let arr = Array.of_list (List.rev !fires) in
+  Alcotest.(check int) "exactly one fire per period" 100 (Array.length arr);
+  Array.iteri
+    (fun i t ->
+      let expected = 0.01 *. float_of_int (i + 1) in
+      if Float.abs (t -. expected) > 1e-9 then
+        Alcotest.failf "fire %d at %.6f, expected %.6f" i t expected)
+    arr;
+  Desim.Sim.cancel train;
+  Desim.Sim.run_until sim ~time:(Desim.Sim.now sim +. 1.0);
+  Alcotest.(check int) "train cancelled" 100 (List.length !fires)
+
 let test_sim_callbacks_can_schedule () =
   let sim = Desim.Sim.create () in
   let log = ref [] in
@@ -191,6 +271,10 @@ let suite =
     Alcotest.test_case "clock advances" `Quick test_sim_clock_advances;
     Alcotest.test_case "no scheduling in the past" `Quick test_sim_past_scheduling_rejected;
     Alcotest.test_case "cancellation" `Quick test_sim_cancellation;
+    Alcotest.test_case "cancellation under churn" `Quick
+      test_sim_cancellation_under_churn;
+    Alcotest.test_case "every: re-arms under churn" `Quick
+      test_every_rearms_under_churn;
     Alcotest.test_case "nested scheduling" `Quick test_sim_callbacks_can_schedule;
     Alcotest.test_case "same-instant cascade" `Quick test_sim_same_time_cascade;
     Alcotest.test_case "every: fixed interval" `Quick test_every_fixed_interval;

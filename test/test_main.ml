@@ -21,6 +21,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("multirate+roc", Test_multirate_roc.suite);
       ("sizes", Test_sizes.suite);
+      ("faults", Test_faults.suite);
       ("integration", Test_integration.suite);
       ("stress", Test_stress.suite);
     ]

@@ -139,6 +139,40 @@ let test_link_conservation () =
   Alcotest.(check int) "conservation" offered
     (Netsim.Link.sent link + Netsim.Link.dropped link)
 
+let test_link_sustained_overload_conserves () =
+  (* Offer ~4x the line rate in bursts for a while: at every instant
+     offered = sent + dropped + queued, and the backlog drains to zero
+     once the bursts stop. *)
+  let sim = Desim.Sim.create () in
+  let rng = Prng.Rng.create ~seed:107 in
+  let delivered = ref 0 in
+  let link =
+    Netsim.Link.create sim ~bandwidth_bps:400_000.0 ~queue_limit:16
+      ~dest:(fun _ -> incr delivered)
+      ()
+  in
+  let offered = ref 0 in
+  for _ = 1 to 2_000 do
+    Desim.Sim.run_until sim
+      ~time:(Desim.Sim.now sim +. Prng.Sampler.exponential rng ~rate:400.0);
+    let burst = 1 + Prng.Rng.int rng ~bound:3 in
+    for _ = 1 to burst do
+      incr offered;
+      Netsim.Link.send link (mk_packet ~size:500 sim)
+    done;
+    Alcotest.(check int) "conserved mid-overload" !offered
+      (Netsim.Link.sent link + Netsim.Link.dropped link
+     + Netsim.Link.queue_depth link)
+  done;
+  Alcotest.(check bool) "overload actually dropped" true
+    (Netsim.Link.dropped link > 0);
+  Desim.Sim.run_until sim ~time:(Desim.Sim.now sim +. 5.0);
+  Alcotest.(check int) "backlog drains" 0 (Netsim.Link.queue_depth link);
+  Alcotest.(check int) "all survivors delivered" (Netsim.Link.sent link)
+    !delivered;
+  Alcotest.(check int) "final conservation" !offered
+    (Netsim.Link.sent link + Netsim.Link.dropped link)
+
 let test_link_utilization () =
   let sim = Desim.Sim.create () in
   let link = Netsim.Link.create sim ~bandwidth_bps:8000.0 ~dest:(fun _ -> ()) () in
@@ -396,6 +430,8 @@ let suite =
     Alcotest.test_case "link idles" `Quick test_link_idle_resets;
     Alcotest.test_case "link queue limit" `Quick test_link_queue_limit_drops;
     Alcotest.test_case "link conservation" `Quick test_link_conservation;
+    Alcotest.test_case "link sustained overload" `Quick
+      test_link_sustained_overload_conserves;
     Alcotest.test_case "link utilization" `Quick test_link_utilization;
     Alcotest.test_case "link invalid" `Quick test_link_invalid;
     Alcotest.test_case "router diverts cross" `Quick test_router_diverts_cross;

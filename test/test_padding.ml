@@ -224,6 +224,39 @@ let test_gateway_queue_limit () =
   Alcotest.(check int) "queue capped" 5 (Padding.Gateway.queue_length gw);
   Alcotest.(check int) "drops counted" 7 (Padding.Gateway.payload_dropped gw)
 
+let test_gateway_overflow_then_drain () =
+  (* Overflow, then let the timer drain the queue: survivors exit in FIFO
+     order and every offered packet ends up sent or dropped. *)
+  let sim = Desim.Sim.create () in
+  let rng = Prng.Rng.create ~seed:135 in
+  let out = ref [] in
+  let gw =
+    Padding.Gateway.create sim ~rng ~timer:(Padding.Timer.Constant 0.01)
+      ~jitter:Padding.Jitter.none ~queue_limit:8
+      ~dest:(fun pkt ->
+        if pkt.Netsim.Packet.kind = Netsim.Packet.Payload then
+          out := pkt.Netsim.Packet.id :: !out)
+      ()
+  in
+  let offered =
+    List.init 20 (fun _ ->
+        let pkt =
+          Netsim.Packet.make ~kind:Netsim.Packet.Payload ~size_bytes:500
+            ~created:0.0
+        in
+        Padding.Gateway.input gw pkt;
+        pkt.Netsim.Packet.id)
+  in
+  Alcotest.(check int) "overflow drops" 12 (Padding.Gateway.payload_dropped gw);
+  Desim.Sim.run_until sim ~time:1.0;
+  Padding.Gateway.stop gw;
+  Alcotest.(check int) "queue drained" 0 (Padding.Gateway.queue_length gw);
+  Alcotest.(check int) "conservation" 20
+    (Padding.Gateway.payload_sent gw + Padding.Gateway.payload_dropped gw);
+  (* The 8 survivors are exactly the first 8 offered, in order. *)
+  let survivors = List.filteri (fun i _ -> i < 8) offered in
+  Alcotest.(check (list int)) "FIFO survivors" survivors (List.rev !out)
+
 let test_gateway_rejects_non_payload () =
   let sim = Desim.Sim.create () in
   let rng = Prng.Rng.create ~seed:126 in
@@ -382,6 +415,8 @@ let suite =
     Alcotest.test_case "exact PIAT without jitter" `Quick test_gateway_piat_near_period_without_jitter;
     Alcotest.test_case "payload FIFO" `Quick test_gateway_fifo_payload_order;
     Alcotest.test_case "gateway queue limit" `Quick test_gateway_queue_limit;
+    Alcotest.test_case "gateway overflow drain" `Quick
+      test_gateway_overflow_then_drain;
     Alcotest.test_case "gateway rejects non-payload" `Quick test_gateway_rejects_non_payload;
     Alcotest.test_case "gateway stop" `Quick test_gateway_stop;
     Alcotest.test_case "VIT PIAT sigma" `Quick test_gateway_vit_piat_sigma;
