@@ -6,7 +6,8 @@
      dune exec bench/main.exe                 # full fidelity (~minutes)
      dune exec bench/main.exe -- --scale 0.2  # quick pass
      dune exec bench/main.exe -- --only fig4b,fig6
-     dune exec bench/main.exe -- --no-micro *)
+     dune exec bench/main.exe -- --jobs 8     # parallel sweeps, same output
+     dune exec bench/main.exe -- --no-micro --json bench.json *)
 
 let fmt = Format.std_formatter
 
@@ -15,6 +16,14 @@ let seed = ref 42_000
 let only = ref "all"
 let csv_dir = ref ""
 let run_micro = ref true
+let jobs = ref 0 (* 0 = auto: EXEC_JOBS or available cores *)
+let json_path = ref ""
+
+let known_figures =
+  [
+    "fig4a"; "fig4b"; "fig5a"; "fig5b"; "fig6"; "fig8a"; "fig8b"; "multirate";
+    "faults"; "ablations";
+  ]
 
 let args =
   [
@@ -22,20 +31,35 @@ let args =
     ("--seed", Arg.Set_int seed, "SEED root seed (default 42000)");
     ( "--only",
       Arg.Set_string only,
-      "LIST comma-separated figure ids (fig4a,fig4b,fig5a,fig5b,fig6,fig8a,\
-       fig8b,multirate,faults,ablations); default all" );
+      "LIST comma-separated figure ids (" ^ String.concat "," known_figures
+      ^ "); default all" );
     ("--csv", Arg.Set_string csv_dir, "DIR write CSV copies of the tables");
     ("--no-micro", Arg.Clear run_micro, " skip Bechamel micro-benchmarks");
+    ( "--jobs",
+      Arg.Int
+        (fun n ->
+          if n < 1 then raise (Arg.Bad "--jobs must be >= 1");
+          jobs := n),
+      "N worker domains for the scenario sweeps (default: EXEC_JOBS or \
+       available cores; output is bit-identical at any N)" );
+    ( "--json",
+      Arg.Set_string json_path,
+      "FILE write per-stage wall-clock and micro-benchmark results as JSON" );
   ]
 
 let wanted id =
   !only = "all" || List.mem id (String.split_on_char ',' !only)
 
+(* Per-stage wall-clock seconds, in completion order, for --json. *)
+let stage_times : (string * float) list ref = ref []
+
 let timed id f =
   if wanted id then begin
     let t0 = Unix.gettimeofday () in
     f ();
-    Format.fprintf fmt "[%s done in %.1f s]@." id (Unix.gettimeofday () -. t0)
+    let dt = Unix.gettimeofday () -. t0 in
+    stage_times := (id, dt) :: !stage_times;
+    Format.fprintf fmt "[%s done in %.1f s]@." id dt
   end
 
 let csv () = if !csv_dir = "" then None else Some !csv_dir
@@ -182,9 +206,9 @@ let run_micro_benchmarks () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
           let raw = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
           let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
@@ -195,9 +219,67 @@ let run_micro_benchmarks () =
             | _ -> Float.nan
           in
           let r2 = Option.value (Analyze.OLS.r_square est) ~default:Float.nan in
-          Format.fprintf fmt "%-32s  %14.1f  %10.4f@." (Test.Elt.name elt) ns r2)
+          Format.fprintf fmt "%-32s  %14.1f  %10.4f@." (Test.Elt.name elt) ns r2;
+          (Test.Elt.name elt, ns, r2))
         (Test.elements test))
     (micro_tests ())
+
+(* --- hand-rolled JSON (no dependency): one flat object per run --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  (* JSON has no NaN/inf literals; a failed OLS estimate becomes null. *)
+  if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let write_json path ~resolved_jobs ~total ~micro =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"ta-bench/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"scale\": %s,\n" (json_float !scale));
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" !seed);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" resolved_jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"only\": \"%s\",\n" (json_escape !only));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_s\": %s,\n" (json_float total));
+  Buffer.add_string buf "  \"stages\": [";
+  List.iteri
+    (fun i (id, dt) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf "\n    {\"id\": \"%s\", \"wall_s\": %s}"
+           (json_escape id) (json_float dt)))
+    (List.rev !stage_times);
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"micro\": [";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}"
+           (json_escape name) (json_float ns) (json_float r2)))
+    micro;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf))
 
 let () =
   Arg.parse args
@@ -213,9 +295,28 @@ let () =
     prerr_endline "bench: --seed must be non-negative";
     exit 2
   end;
+  (* A typo'd figure id used to run nothing and still exit 0; fail fast
+     with the valid set instead. *)
+  if !only <> "all" then begin
+    let ids = String.split_on_char ',' !only in
+    let bad = List.filter (fun id -> not (List.mem id known_figures)) ids in
+    if ids = [] || bad <> [] then begin
+      Printf.eprintf "bench: unknown figure id%s %s; valid ids: %s\n"
+        (if List.length bad > 1 then "s" else "")
+        (String.concat "," bad)
+        (String.concat "," known_figures);
+      exit 2
+    end
+  end;
+  if !jobs > 0 then Exec.Pool.set_default_jobs !jobs;
+  let resolved_jobs = Exec.Pool.default_jobs () in
+  Format.fprintf fmt "[exec: %d worker domain%s]@." resolved_jobs
+    (if resolved_jobs = 1 then "" else "s");
   let t0 = Unix.gettimeofday () in
   run_figures ();
-  if !run_micro then run_micro_benchmarks ();
-  Format.fprintf fmt "@.[bench total %.1f s, scale %.2f, seed %d]@."
-    (Unix.gettimeofday () -. t0)
-    !scale !seed
+  let micro = if !run_micro then run_micro_benchmarks () else [] in
+  let total = Unix.gettimeofday () -. t0 in
+  if !json_path <> "" then
+    write_json !json_path ~resolved_jobs ~total ~micro;
+  Format.fprintf fmt "@.[bench total %.1f s, scale %.2f, seed %d, jobs %d]@."
+    total !scale !seed resolved_jobs

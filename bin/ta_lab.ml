@@ -35,6 +35,24 @@ let seed_arg =
   let doc = "Root random seed (every run is deterministic in it)." in
   Arg.(value & opt (some seed_conv) None & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some i when i >= 1 -> Ok i
+    | Some _ -> Error (`Msg (Printf.sprintf "jobs must be >= 1, got %s" s))
+    | None -> Error (`Msg (Printf.sprintf "invalid jobs %S (expected an integer)" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel sweeps (default: EXEC_JOBS or the \
+     available cores, capped).  Results are bit-identical at any value."
+  in
+  Arg.(value & opt (some jobs_conv) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let apply_jobs jobs = Option.iter Exec.Pool.set_default_jobs jobs
+
 let csv_arg =
   let doc =
     "Directory to drop CSV copies of the printed tables into (created, \
@@ -43,12 +61,15 @@ let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
 let run_figure name f =
-  let run scale seed csv_dir =
+  let run scale seed csv_dir jobs =
+    apply_jobs jobs;
     Scenarios.Calibration.print_setup fmt;
     f ~scale ?seed ?csv_dir ();
     `Ok ()
   in
-  let term = Term.(ret (const run $ scale_arg $ seed_arg $ csv_arg)) in
+  let term =
+    Term.(ret (const run $ scale_arg $ seed_arg $ csv_arg $ jobs_arg))
+  in
   let info = Cmd.info name ~doc:(Printf.sprintf "Reproduce %s." name) in
   Cmd.v info term
 
@@ -93,7 +114,7 @@ let faults_cmd =
     Arg.(value & opt (some (list float)) None
          & info [ "intensities" ] ~docv:"LIST" ~doc)
   in
-  let run scale seed csv_dir intensities =
+  let run scale seed csv_dir intensities jobs =
     match
       Option.bind intensities (fun xs ->
           List.find_opt (fun x -> Float.is_nan x || x < 0.0 || x > 1.0) xs)
@@ -101,6 +122,7 @@ let faults_cmd =
     | Some bad ->
         `Error (false, Printf.sprintf "intensity %g outside [0, 1]" bad)
     | None ->
+        apply_jobs jobs;
         Scenarios.Calibration.print_setup fmt;
         ignore
           (Scenarios.Degradation.run ~scale ?seed ?csv_dir:csv_dir
@@ -112,10 +134,14 @@ let faults_cmd =
        ~doc:
          "Sweep channel-fault intensity; report detection (incl. the \
           gap-aware adversary) and QoS degradation side by side.")
-    Term.(ret (const run $ scale_arg $ seed_arg $ csv_arg $ intensities_arg))
+    Term.(
+      ret
+        (const run $ scale_arg $ seed_arg $ csv_arg $ intensities_arg
+       $ jobs_arg))
 
 let ablations_cmd =
-  let run scale seed =
+  let run scale seed jobs =
+    apply_jobs jobs;
     let seed = Option.value seed ~default:51_000 in
     ignore (Scenarios.Ablations.run_jitter_models ~scale ~seed fmt);
     ignore (Scenarios.Ablations.run_vit_laws ~scale ~seed:(seed + 1) fmt);
@@ -133,7 +159,7 @@ let ablations_cmd =
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Run all design-choice ablations.")
-    Term.(ret (const run $ scale_arg $ seed_arg))
+    Term.(ret (const run $ scale_arg $ seed_arg $ jobs_arg))
 
 let theory_cmd =
   let r_arg =
@@ -266,7 +292,8 @@ let setup_cmd =
     Term.(ret (const run $ const ()))
 
 let all_cmd =
-  let run scale seed csv_dir =
+  let run scale seed csv_dir jobs =
+    apply_jobs jobs;
     Scenarios.Calibration.print_setup fmt;
     let s = Option.value seed ~default:42_000 in
     ignore (Scenarios.Fig4a.run ~scale ~seed:(s + 1) ?csv_dir fmt);
@@ -281,7 +308,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every figure in sequence.")
-    Term.(ret (const run $ scale_arg $ seed_arg $ csv_arg))
+    Term.(ret (const run $ scale_arg $ seed_arg $ csv_arg $ jobs_arg))
 
 let main_cmd =
   let doc = "traffic-analysis countermeasure laboratory (Fu et al., ICPP 2003)" in

@@ -60,7 +60,7 @@ let posteriors t x =
   end
   else Array.make (Array.length t.classes) (1.0 /. float_of_int (Array.length t.classes))
 
-let accuracy t cases =
+let correct_counts t cases =
   let m = num_classes t in
   let correct = Array.make m 0 and total = Array.make m 0 in
   Array.iter
@@ -72,6 +72,12 @@ let accuracy t cases =
           if classify t x = label then correct.(label) <- correct.(label) + 1)
         xs)
     cases;
+  (correct, total)
+
+let weighted_accuracy t ~correct ~total =
+  let m = num_classes t in
+  if Array.length correct <> m || Array.length total <> m then
+    invalid_arg "Classifier.weighted_accuracy: counts length mismatch";
   let acc = ref 0.0 in
   for i = 0 to m - 1 do
     if total.(i) = 0 then invalid_arg "Classifier.accuracy: class without test data";
@@ -79,6 +85,10 @@ let accuracy t cases =
       !acc +. (t.classes.(i).prior *. float_of_int correct.(i) /. float_of_int total.(i))
   done;
   !acc
+
+let accuracy t cases =
+  let correct, total = correct_counts t cases in
+  weighted_accuracy t ~correct ~total
 
 let threshold_two_class t =
   if num_classes t <> 2 then

@@ -34,6 +34,16 @@ val accuracy : t -> (int * float array) array -> float
     Σ_i prior(i) · (correct_i / total_i).  Raises if any class has no
     test data. *)
 
+val correct_counts : t -> (int * float array) array -> int array * int array
+(** [(correct, total)] per true class on the same labeled test data as
+    {!accuracy} — the exact integer success counts behind the rate, for
+    confidence intervals that must not reconstruct them by rounding. *)
+
+val weighted_accuracy : t -> correct:int array -> total:int array -> float
+(** The eq. (7) prior-weighted rate from pre-computed {!correct_counts}
+    (so one classification pass yields both the rate and the counts).
+    Raises if any class has no test data or on a length mismatch. *)
+
 val threshold_two_class : t -> float option
 (** For a 2-class classifier: the decision threshold d solving
     prior₀·f₀(d) = prior₁·f₁(d) between the two class means (paper eq. 3,

@@ -4,6 +4,7 @@ type result = {
   detection_rate : float;
   n_train_per_class : int array;
   n_test_per_class : int array;
+  n_correct_per_class : int array;
   threshold : float option;
 }
 
@@ -21,7 +22,7 @@ let estimate_on_features ?priors ?(backend = `Kde) ~feature ~sample_size
       named_features split
   in
   let cases = Array.mapi (fun i (_, test) -> (i, test)) split in
-  let detection_rate, threshold =
+  let detection_rate, n_correct_per_class, threshold =
     match backend with
     | `Kde ->
         let clf = Classifier.train ?priors ~classes () in
@@ -30,10 +31,12 @@ let estimate_on_features ?priors ?(backend = `Kde) ~feature ~sample_size
             Classifier.threshold_two_class clf
           else None
         in
-        (Classifier.accuracy clf cases, threshold)
+        let correct, total = Classifier.correct_counts clf cases in
+        (Classifier.weighted_accuracy clf ~correct ~total, correct, threshold)
     | `Gaussian ->
         let clf = Parametric.train ?priors ~classes () in
-        (Parametric.accuracy clf cases, None)
+        let correct, total = Parametric.correct_counts clf cases in
+        (Parametric.weighted_accuracy clf ~correct ~total, correct, None)
   in
   {
     feature;
@@ -41,6 +44,7 @@ let estimate_on_features ?priors ?(backend = `Kde) ~feature ~sample_size
     detection_rate;
     n_train_per_class = Array.map (fun (train, _) -> Array.length train) split;
     n_test_per_class = Array.map (fun (_, test) -> Array.length test) split;
+    n_correct_per_class;
     threshold;
   }
 

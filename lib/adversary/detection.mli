@@ -8,6 +8,11 @@ type result = {
   detection_rate : float;
   n_train_per_class : int array;
   n_test_per_class : int array;
+  n_correct_per_class : int array;
+      (** exact held-out success counts per class — the integers behind
+          [detection_rate], carried so confidence intervals never have to
+          reconstruct them by rounding [rate × n] (lossy when per-class
+          test counts differ) *)
   threshold : float option;  (** binary decision threshold d, when found *)
 }
 

@@ -51,7 +51,7 @@ let classify t x =
   done;
   !best
 
-let accuracy t cases =
+let correct_counts t cases =
   let m = num_classes t in
   let correct = Array.make m 0 and total = Array.make m 0 in
   Array.iter
@@ -63,6 +63,12 @@ let accuracy t cases =
           if classify t x = label then correct.(label) <- correct.(label) + 1)
         xs)
     cases;
+  (correct, total)
+
+let weighted_accuracy t ~correct ~total =
+  let m = num_classes t in
+  if Array.length correct <> m || Array.length total <> m then
+    invalid_arg "Parametric.weighted_accuracy: counts length mismatch";
   let acc = ref 0.0 in
   for i = 0 to m - 1 do
     if total.(i) = 0 then invalid_arg "Parametric.accuracy: class without test data";
@@ -71,3 +77,7 @@ let accuracy t cases =
       +. (t.classes.(i).prior *. float_of_int correct.(i) /. float_of_int total.(i))
   done;
   !acc
+
+let accuracy t cases =
+  let correct, total = correct_counts t cases in
+  weighted_accuracy t ~correct ~total

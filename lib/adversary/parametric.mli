@@ -25,3 +25,10 @@ val classify : t -> float -> int
 
 val accuracy : t -> (int * float array) array -> float
 (** Prior-weighted detection rate on labeled test data (paper eq. 7). *)
+
+val correct_counts : t -> (int * float array) array -> int array * int array
+(** [(correct, total)] per true class — see {!Classifier.correct_counts}. *)
+
+val weighted_accuracy : t -> correct:int array -> total:int array -> float
+(** Eq. (7) rate from pre-computed counts — see
+    {!Classifier.weighted_accuracy}. *)

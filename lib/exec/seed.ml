@@ -1,0 +1,3 @@
+let derive ~root ~index =
+  if index < 0 then invalid_arg "Exec.Seed.derive: index < 0";
+  Prng.Rng.mix_seed root index

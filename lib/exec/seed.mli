@@ -1,0 +1,12 @@
+(** Deterministic per-task seed derivation for parallel fan-out.
+
+    Each task of a {!Pool} combinator that needs randomness should build
+    its own generator as
+    [Prng.Rng.create ~seed:(Seed.derive ~root ~index)].  The derivation
+    is a pure function of [(root, index)] — independent of worker count,
+    scheduling, and of which other tasks ran — so the whole fan-out is
+    reproducible from [root] alone. *)
+
+val derive : root:int -> index:int -> int
+(** Per-task seed via the SplitMix64 mix in {!Prng.Rng.mix_seed}.
+    Raises [Invalid_argument] if [index < 0]. *)

@@ -71,6 +71,17 @@ let int t ~bound =
 
 let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
 
+let mix_seed root index =
+  (* Two SplitMix64 steps with the index folded in between: a pure,
+     order-independent derivation of per-task seeds for parallel work.
+     The golden-ratio multiply decorrelates adjacent indices before the
+     second finalizer, and the final shift keeps the result a positive
+     63-bit OCaml int. *)
+  let state = ref (Int64.of_int root) in
+  let h = splitmix_next state in
+  state := Int64.logxor h (Int64.mul (Int64.of_int index) 0x9E3779B97F4A7C15L);
+  Int64.to_int (Int64.shift_right_logical (splitmix_next state) 2)
+
 let seed_of_string s =
   (* FNV-1a, folded to 62 bits to stay positive in an OCaml int. *)
   let h = ref 0xcbf29ce484222325L in

@@ -41,6 +41,14 @@ val int : t -> bound:int -> int
 val bool : t -> bool
 (** Fair coin. *)
 
+val mix_seed : int -> int -> int
+(** [mix_seed root index] derives a per-task seed from a root seed and a
+    task index through two SplitMix64 finalizer steps.  Pure and
+    order-independent: the seed for task [i] does not depend on when (or
+    whether) any other task's seed is derived, which is what makes
+    parallel fan-out bit-reproducible.  Result is a non-negative 62-bit
+    int suitable for {!create}. *)
+
 val seed_of_string : string -> int
 (** Stable non-cryptographic hash of a label into a seed, used to derive
     per-component seeds from experiment names. *)

@@ -55,7 +55,7 @@ let run_jitter_models ?(scale = 1.0) ?(seed = 51_001) fmt =
     ]
   in
   let rows =
-    List.map
+    Exec.Pool.parallel_map
       (fun (name, jitter_of_rate) ->
         (* Parametric jitter depends on the class, so run the two classes
            with their own jitter instances. *)
@@ -67,9 +67,11 @@ let run_jitter_models ?(scale = 1.0) ?(seed = 51_001) fmt =
             jitter = jitter_of_rate rate;
           }
         in
-        let low = System.run (base Calibration.rate_low_pps seed) ~piats in
-        let high =
-          System.run (base Calibration.rate_high_pps (seed + 7919)) ~piats
+        let low, high =
+          Exec.Pool.both
+            (fun () -> Trace_cache.run (base Calibration.rate_low_pps seed) ~piats)
+            (fun () ->
+              Trace_cache.run (base Calibration.rate_high_pps (seed + 7919)) ~piats)
         in
         let var_low = Stats.Descriptive.variance low.System.piats in
         let var_high = Stats.Descriptive.variance high.System.piats in
@@ -110,7 +112,7 @@ let run_vit_laws ?(scale = 1.0) ?(seed = 51_002) fmt =
     ]
   in
   let rows =
-    List.mapi
+    Exec.Pool.parallel_mapi
       (fun i (name, timer) ->
         let traces =
           collect ~seed:(seed + (100 * i)) ~timer
@@ -137,8 +139,9 @@ let run_entropy_bins ?(scale = 1.0) ?(seed = 51_003) fmt =
       ~piats:(n * windows)
   in
   let widths = [ 0.25e-6; 0.5e-6; 1e-6; 2e-6; 4e-6 ] in
+  (* Scoring is pure — the widths can be evaluated concurrently. *)
   let rows =
-    List.map
+    Exec.Pool.parallel_map
       (fun bin_width ->
         let scores =
           Workload.score traces
@@ -171,7 +174,7 @@ let run_tap_positions ?(scale = 1.0) ?(seed = 51_004) fmt =
         Fig6.hop_for_utilization ~utilization ~burst:`Poisson)
   in
   let rows =
-    List.map
+    Exec.Pool.parallel_map
       (fun tap_position ->
         let traces =
           collect
@@ -252,7 +255,7 @@ let run_adaptive_vs_cit ?(scale = 1.0) ?(seed = 51_006) fmt =
     ]
   in
   let rows =
-    List.mapi
+    Exec.Pool.parallel_mapi
       (fun i (name, scheme) ->
         let run_scheme rate seed =
           let cfg =
@@ -263,12 +266,14 @@ let run_adaptive_vs_cit ?(scale = 1.0) ?(seed = 51_006) fmt =
             }
           in
           match scheme with
-          | `Timer timer -> System.run { cfg with System.timer } ~piats
+          | `Timer timer -> Trace_cache.run { cfg with System.timer } ~piats
           | `Adaptive -> System.run_adaptive cfg ~piats
         in
-        let low = run_scheme Calibration.rate_low_pps (seed + (100 * i)) in
-        let high =
-          run_scheme Calibration.rate_high_pps (seed + (100 * i) + 7919)
+        let low, high =
+          Exec.Pool.both
+            (fun () -> run_scheme Calibration.rate_low_pps (seed + (100 * i)))
+            (fun () ->
+              run_scheme Calibration.rate_high_pps (seed + (100 * i) + 7919))
         in
         ignore (low.System.sim_time, high.System.sim_time);
         let classes =

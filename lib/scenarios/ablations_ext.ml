@@ -27,19 +27,26 @@ let run_classifier_backends ?(scale = 1.0) ?(seed = 52_001) fmt =
     (Adversary.Spectral.estimate ~kind ~sample_size:n ~classes ())
       .Adversary.Detection.detection_rate
   in
+  (* Every backend scores the same (immutable) traces independently. *)
   let rows =
-    [
-      ("kde/variance", single `Kde Adversary.Feature.Sample_variance);
-      ("kde/entropy", single `Kde entropy);
-      ("gaussian/variance", single `Gaussian Adversary.Feature.Sample_variance);
-      ("gaussian/entropy", single `Gaussian entropy);
-      ( "joint kde (var+entropy)",
-        Adversary.Joint.estimate
-          ~features:[ Adversary.Feature.Sample_variance; entropy ]
-          ~reference:Calibration.timer_mean ~sample_size:n ~classes () );
-      ("spectral entropy", spectral Adversary.Spectral.Spectral_entropy);
-      ("spectral power", spectral Adversary.Spectral.Spectral_power);
-    ]
+    Exec.Pool.parallel_map
+      (fun (name, score) -> (name, score ()))
+      [
+        ( "kde/variance",
+          fun () -> single `Kde Adversary.Feature.Sample_variance );
+        ("kde/entropy", fun () -> single `Kde entropy);
+        ( "gaussian/variance",
+          fun () -> single `Gaussian Adversary.Feature.Sample_variance );
+        ("gaussian/entropy", fun () -> single `Gaussian entropy);
+        ( "joint kde (var+entropy)",
+          fun () ->
+            Adversary.Joint.estimate
+              ~features:[ Adversary.Feature.Sample_variance; entropy ]
+              ~reference:Calibration.timer_mean ~sample_size:n ~classes () );
+        ( "spectral entropy",
+          fun () -> spectral Adversary.Spectral.Spectral_entropy );
+        ("spectral power", fun () -> spectral Adversary.Spectral.Spectral_power);
+      ]
   in
   let table =
     Table.create
@@ -68,7 +75,7 @@ let run_mix_vs_padding ?(scale = 1.0) ?(seed = 52_002) fmt =
     ]
   in
   let rows =
-    List.mapi
+    Exec.Pool.parallel_mapi
       (fun i (name, scheme) ->
         let run rate seed =
           let cfg =
@@ -79,9 +86,9 @@ let run_mix_vs_padding ?(scale = 1.0) ?(seed = 52_002) fmt =
             }
           in
           match scheme with
-          | `Cit -> System.run cfg ~piats
+          | `Cit -> Trace_cache.run cfg ~piats
           | `Vit sigma ->
-              System.run
+              Trace_cache.run
                 {
                   cfg with
                   System.timer =
@@ -91,8 +98,11 @@ let run_mix_vs_padding ?(scale = 1.0) ?(seed = 52_002) fmt =
                 ~piats
           | `Mix -> System.run_mix cfg ~piats
         in
-        let low = run Calibration.rate_low_pps (seed + (100 * i)) in
-        let high = run Calibration.rate_high_pps (seed + (100 * i) + 7919) in
+        let low, high =
+          Exec.Pool.both
+            (fun () -> run Calibration.rate_low_pps (seed + (100 * i)))
+            (fun () -> run Calibration.rate_high_pps (seed + (100 * i) + 7919))
+        in
         let classes =
           [|
             (Calibration.label_low, low.System.piats);
@@ -233,11 +243,15 @@ let run_size_padding ?(seed = 52_004) fmt =
     List.concat_map
       (fun padded ->
         let label = if padded then "padded to 1500B" else "unpadded sizes" in
+        (* The two application mixes have disjoint seeds — capture both
+           concurrently. *)
+        let interactive_trace, bulk_trace =
+          Exec.Pool.both
+            (fun () -> capture ~size_of:interactive ~padded ~seed)
+            (fun () -> capture ~size_of:bulk ~padded ~seed:(seed + 1))
+        in
         let classes =
-          [|
-            ("interactive", capture ~size_of:interactive ~padded ~seed);
-            ("bulk", capture ~size_of:bulk ~padded ~seed:(seed + 1));
-          |]
+          [| ("interactive", interactive_trace); ("bulk", bulk_trace) |]
         in
         List.map
           (fun kind ->
@@ -267,14 +281,14 @@ let run_size_padding ?(seed = 52_004) fmt =
 let run_qos_table ?(seed = 52_003) fmt =
   let payload_rate = Calibration.rate_high_pps in
   let rows =
-    List.mapi
+    Exec.Pool.parallel_mapi
       (fun i timer_rate ->
         let timer_mean = 1.0 /. timer_rate in
         let analytic =
           Padding.Qos.mean_delay ~payload_rate_pps:payload_rate ~timer_mean
         in
         let res =
-          System.run
+          Trace_cache.run
             {
               System.default_config with
               System.seed = seed + i;

@@ -222,17 +222,19 @@ let evaluate ?piats ?(sample_size = 400) ?timer ~seed ~profile ~intensity () =
       timer = Option.value timer ~default:default_config.timer;
     }
   in
-  let low =
-    run_faulty { base with seed = seed * 2 + 1 } ~piats
-  in
-  let high =
-    run_faulty
-      {
-        base with
-        seed = (seed * 2) + 2;
-        payload_rate_pps = Calibration.rate_high_pps;
-      }
-      ~piats
+  (* Disjoint derived seeds: the two classes are independent simulations
+     and can run concurrently (bit-identical either way). *)
+  let low, high =
+    Exec.Pool.both
+      (fun () -> run_faulty { base with seed = (seed * 2) + 1 } ~piats)
+      (fun () ->
+        run_faulty
+          {
+            base with
+            seed = (seed * 2) + 2;
+            payload_rate_pps = Calibration.rate_high_pps;
+          }
+          ~piats)
   in
   let classes =
     [|
@@ -308,32 +310,34 @@ let run ?(scale = 1.0) ?(seed = 47_000) ?csv_dir
           "lost(down)"; "crashes";
         ]
   in
+  (* Intensities are seeded by index, hence independent: evaluate them in
+     parallel, then fill the table in sweep order. *)
   let points =
-    List.mapi
+    Exec.Pool.parallel_mapi
       (fun i x ->
-        let p =
-          evaluate ~piats ~sample_size ~seed:(seed + i)
-            ~profile:(profile_of_intensity x) ~intensity:x ()
-        in
-        Table.add_row table
-          [
-            Printf.sprintf "%.2f" p.intensity;
-            Table.fcell p.v_mean;
-            Table.fcell p.v_variance;
-            Table.fcell p.v_entropy;
-            Table.fcell p.v_gap;
-            Table.fcell p.gap_fraction;
-            Table.fcell p.overhead;
-            Printf.sprintf "%.3f" (p.mean_latency *. 1e3);
-            Table.fcell p.delivered_frac;
-            string_of_int p.dropped_gw;
-            string_of_int p.lost_wire;
-            string_of_int p.lost_down;
-            string_of_int p.crashes;
-          ];
-        p)
+        evaluate ~piats ~sample_size ~seed:(seed + i)
+          ~profile:(profile_of_intensity x) ~intensity:x ())
       intensities
   in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" p.intensity;
+          Table.fcell p.v_mean;
+          Table.fcell p.v_variance;
+          Table.fcell p.v_entropy;
+          Table.fcell p.v_gap;
+          Table.fcell p.gap_fraction;
+          Table.fcell p.overhead;
+          Printf.sprintf "%.3f" (p.mean_latency *. 1e3);
+          Table.fcell p.delivered_frac;
+          string_of_int p.dropped_gw;
+          string_of_int p.lost_wire;
+          string_of_int p.lost_down;
+          string_of_int p.crashes;
+        ])
+    points;
   Table.print table fmt;
   (match csv_dir with
   | Some dir -> Table.save_csv table ~path:(Filename.concat dir "degradation.csv")

@@ -29,8 +29,9 @@ let run ?(scale = 1.0) ?(seed = 42_003) ?(sample_size = 2000)
          ~sigma_gw_high:calibration.Calibration.sigma_high ())
   in
   let features = Adversary.Feature.standard_set in
+  (* Sweep points are seeded by index, hence independent: fan them out. *)
   let points =
-    List.mapi
+    Exec.Pool.parallel_mapi
       (fun i sigma_t ->
         let base =
           {

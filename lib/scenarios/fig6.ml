@@ -38,8 +38,9 @@ let run ?(scale = 1.0) ?(seed = 42_005) ?(sample_size = 1000)
   if sample_size < 2 then invalid_arg "Fig6.run: sample_size < 2";
   let windows = Stdlib.max 6 (int_of_float (40.0 *. scale)) in
   let features = Adversary.Feature.standard_set in
+  (* Sweep points are seeded by index, hence independent: fan them out. *)
   let points =
-    List.mapi
+    Exec.Pool.parallel_mapi
       (fun i utilization ->
         let hop = hop_for_utilization ~utilization ~burst in
         let base =

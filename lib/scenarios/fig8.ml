@@ -35,8 +35,9 @@ let run ?(scale = 1.0) ?(seed = 42_006) ?(sample_size = 1000)
   if sample_size < 2 then invalid_arg "Fig8.run: sample_size < 2";
   let windows = Stdlib.max 6 (int_of_float (16.0 *. scale)) in
   let features = Adversary.Feature.standard_set in
+  (* Hours are seeded by index, hence independent: fan them out. *)
   let points =
-    List.mapi
+    Exec.Pool.parallel_mapi
       (fun i hour ->
         let hops = hops_for kind ~hour in
         let base =

@@ -10,8 +10,9 @@ let run ?(scale = 1.0) ?(seed = 42_007) ?(rates = [ 10.0; 20.0; 30.0; 40.0 ])
   if List.length rates < 2 then invalid_arg "Multirate.run: need >= 2 rates";
   if sample_size < 2 then invalid_arg "Multirate.run: sample_size < 2";
   let windows = Stdlib.max 6 (int_of_float (30.0 *. scale)) in
+  (* One independent (seeded-by-index) trace collection per rate. *)
   let traces =
-    List.mapi
+    Exec.Pool.parallel_mapi
       (fun i rate ->
         let cfg =
           {
@@ -20,7 +21,7 @@ let run ?(scale = 1.0) ?(seed = 42_007) ?(rates = [ 10.0; 20.0; 30.0; 40.0 ])
             payload_rate_pps = rate;
           }
         in
-        let res = System.run cfg ~piats:(sample_size * windows) in
+        let res = Trace_cache.run cfg ~piats:(sample_size * windows) in
         (Printf.sprintf "%.0fpps" rate, res.System.piats))
       rates
   in

@@ -1,0 +1,57 @@
+type key = System.config * int
+
+(* [System.config] is pure (immutable) data — variants, floats, ints and
+   arrays thereof, no closures — so polymorphic equality/hashing are both
+   safe and exactly the sharing relation we want. *)
+let table : (key, System.result) Hashtbl.t = Hashtbl.create 64
+let order : key Queue.t = Queue.create ()
+let capacity = ref 32
+let hits = ref 0
+let misses = ref 0
+let mutex = Mutex.create ()
+
+let set_capacity n =
+  if n < 0 then invalid_arg "Trace_cache.set_capacity: negative capacity";
+  Mutex.protect mutex (fun () ->
+      capacity := n;
+      while Hashtbl.length table > !capacity do
+        Hashtbl.remove table (Queue.pop order)
+      done)
+
+let clear () =
+  Mutex.protect mutex (fun () ->
+      Hashtbl.reset table;
+      Queue.clear order;
+      hits := 0;
+      misses := 0)
+
+type stats = { hits : int; misses : int }
+
+let stats () =
+  Mutex.protect mutex (fun () -> { hits = !hits; misses = !misses })
+
+let run cfg ~piats =
+  let key = (cfg, piats) in
+  let cached =
+    Mutex.protect mutex (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some r ->
+            incr hits;
+            Some r
+        | None ->
+            incr misses;
+            None)
+  in
+  match cached with
+  | Some r -> r
+  | None ->
+      let r = System.run cfg ~piats in
+      Mutex.protect mutex (fun () ->
+          if !capacity > 0 && not (Hashtbl.mem table key) then begin
+            Hashtbl.replace table key r;
+            Queue.push key order;
+            while Hashtbl.length table > !capacity do
+              Hashtbl.remove table (Queue.pop order)
+            done
+          end);
+      r

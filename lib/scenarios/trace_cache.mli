@@ -1,0 +1,30 @@
+(** Process-wide memo cache for {!System.run} trace collections.
+
+    Figures that re-collect a trace for an identical (full
+    {!System.config}, [piats]) pair — same seed, timer, jitter, topology,
+    everything — share one simulation instead of re-running it.  The
+    config is pure data, and {!System.run} is a deterministic function of
+    it, so memoization cannot change any published number; it only
+    removes duplicate work.
+
+    The cache is thread-safe (used concurrently by {!Exec.Pool} workers)
+    and bounded: least-recently-inserted entries are evicted beyond
+    {!set_capacity}.  Cached results are shared structurally — callers
+    must treat {!System.result} as immutable (every current caller
+    does). *)
+
+val run : System.config -> piats:int -> System.result
+(** Memoized {!System.run}.  Concurrent misses on the same key may both
+    simulate (deterministically equal results); one wins the slot. *)
+
+val set_capacity : int -> unit
+(** Maximum number of cached results (default 32).  [0] disables caching;
+    raises [Invalid_argument] on negative values. *)
+
+val clear : unit -> unit
+(** Drop every cached entry and reset the hit/miss counters. *)
+
+type stats = { hits : int; misses : int }
+
+val stats : unit -> stats
+(** Cumulative counters since start or the last {!clear}. *)

@@ -13,7 +13,10 @@ type traces = {
 
 val collect_pair : base:System.config -> piats:int -> traces
 (** Run [base] at the calibration low and high payload rates (distinct
-    derived seeds) until each yields [piats] inter-arrival times. *)
+    derived seeds) until each yields [piats] inter-arrival times.  The two
+    collections run concurrently when {!Exec.Pool} has a free worker and
+    are memoized through {!Trace_cache}; both are transparent — the
+    result is bit-identical to the sequential, uncached computation. *)
 
 val classes : traces -> (string * float array) array
 (** Labeled PIAT traces in (low, high) order, for {!Adversary.Detection}. *)
@@ -24,12 +27,15 @@ type scored = {
   empirical : float;        (** KDE-Bayes detection rate, held-out *)
   theory : float;           (** paper theorem at the measured r̂ *)
   n_test : int;             (** held-out trials behind [empirical] *)
+  successes : int;          (** exact correct-classification count among
+                                [n_test] (no rate-rounding involved) *)
 }
 
 val wilson95 : scored -> Stats.Confidence.interval
-(** 95% Wilson interval for [empirical] (treating the prior-weighted score
-    as a plain proportion of the held-out trials — exact for the
-    equal-prior, balanced splits used throughout). *)
+(** 95% Wilson interval on [successes]/[n_test] — the exact held-out
+    counts carried through {!Adversary.Detection.result}, not a
+    reconstruction from the prior-weighted rate (which is lossy when
+    per-class test counts differ). *)
 
 val pp_ci : scored -> string
 (** "[lo, hi]" rendering of {!wilson95} for table cells. *)

@@ -22,6 +22,7 @@ let () =
       ("multirate+roc", Test_multirate_roc.suite);
       ("sizes", Test_sizes.suite);
       ("faults", Test_faults.suite);
+      ("exec", Test_exec.suite);
       ("integration", Test_integration.suite);
       ("stress", Test_stress.suite);
     ]
