@@ -18,6 +18,8 @@ let csv_dir = ref ""
 let run_micro = ref true
 let jobs = ref 0 (* 0 = auto: EXEC_JOBS or available cores *)
 let json_path = ref ""
+let trace_path = ref ""
+let check_trace = ref false
 
 let known_figures =
   [
@@ -44,7 +46,15 @@ let args =
        available cores; output is bit-identical at any N)" );
     ( "--json",
       Arg.Set_string json_path,
-      "FILE write per-stage wall-clock and micro-benchmark results as JSON" );
+      "FILE write the ta-bench/2 report (stages, spans, metrics, micro) as \
+       JSON" );
+    ( "--trace",
+      Arg.Set_string trace_path,
+      "FILE write a ta-trace/1 JSONL event trace of every simulation run" );
+    ( "--check-trace",
+      Arg.Set check_trace,
+      " after the run, validate the --trace file against ta-trace/1 (exit \
+       1 on violation)" );
   ]
 
 let wanted id =
@@ -56,7 +66,7 @@ let stage_times : (string * float) list ref = ref []
 let timed id f =
   if wanted id then begin
     let t0 = Unix.gettimeofday () in
-    f ();
+    Obs.span id f;
     let dt = Unix.gettimeofday () -. t0 in
     stage_times := (id, dt) :: !stage_times;
     Format.fprintf fmt "[%s done in %.1f s]@." id dt
@@ -245,10 +255,48 @@ let json_float x =
   (* JSON has no NaN/inf literals; a failed OLS estimate becomes null. *)
   if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
+let add_spans buf =
+  Buffer.add_string buf "  \"spans\": [";
+  List.iteri
+    (fun i (s : Obs.Span.stat) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"name\": \"%s\", \"count\": %d, \"total_s\": %s, \
+            \"self_s\": %s}"
+           (json_escape s.Obs.Span.name)
+           s.count (json_float s.total_s) (json_float s.self_s)))
+    (Obs.Span.snapshot ());
+  Buffer.add_string buf "\n  ],\n"
+
+let add_metrics buf =
+  Buffer.add_string buf "  \"metrics\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Printf.sprintf "\n    \"%s\": " (json_escape name));
+      match v with
+      | Obs.Metrics.Snapshot.Counter n ->
+          Buffer.add_string buf (string_of_int n)
+      | Obs.Metrics.Snapshot.Gauge g -> Buffer.add_string buf (json_float g)
+      | Obs.Metrics.Snapshot.Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"count\": %d, \"mean\": %s, \"p50\": %s, \"p90\": %s, \
+                \"p99\": %s, \"max\": %s}"
+               h.Obs.Metrics.Snapshot.count (json_float h.mean)
+               (json_float h.p50) (json_float h.p90) (json_float h.p99)
+               (json_float h.max)))
+    (Obs.Metrics.snapshot ());
+  Buffer.add_string buf "\n  },\n"
+
 let write_json path ~resolved_jobs ~total ~micro =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"ta-bench/1\",\n";
+  (* v2 = v1 plus the "spans" and "metrics" keys; every v1 key is kept
+     with its v1 meaning, so ta-bench/1 consumers only need to bump the
+     accepted schema string. *)
+  Buffer.add_string buf "  \"schema\": \"ta-bench/2\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"scale\": %s,\n" (json_float !scale));
   Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" !seed);
@@ -266,6 +314,8 @@ let write_json path ~resolved_jobs ~total ~micro =
            (json_escape id) (json_float dt)))
     (List.rev !stage_times);
   Buffer.add_string buf "\n  ],\n";
+  add_spans buf;
+  add_metrics buf;
   Buffer.add_string buf "  \"micro\": [";
   List.iteri
     (fun i (name, ns, r2) ->
@@ -308,15 +358,29 @@ let () =
       exit 2
     end
   end;
+  if !check_trace && !trace_path = "" then begin
+    prerr_endline "bench: --check-trace requires --trace FILE";
+    exit 2
+  end;
   if !jobs > 0 then Exec.Pool.set_default_jobs !jobs;
   let resolved_jobs = Exec.Pool.default_jobs () in
   Format.fprintf fmt "[exec: %d worker domain%s]@." resolved_jobs
     (if resolved_jobs = 1 then "" else "s");
+  if !trace_path <> "" then Obs.Trace.enable ~path:!trace_path;
   let t0 = Unix.gettimeofday () in
   run_figures ();
+  Obs.Trace.flush ();
   let micro = if !run_micro then run_micro_benchmarks () else [] in
   let total = Unix.gettimeofday () -. t0 in
   if !json_path <> "" then
     write_json !json_path ~resolved_jobs ~total ~micro;
   Format.fprintf fmt "@.[bench total %.1f s, scale %.2f, seed %d, jobs %d]@."
-    total !scale !seed resolved_jobs
+    total !scale !seed resolved_jobs;
+  if !check_trace then
+    match Obs.Trace.validate_file !trace_path with
+    | Ok { Obs.Trace.events; runs } ->
+        Format.fprintf fmt "[trace OK: %d events across %d runs]@." events runs
+    | Error msg ->
+        Printf.eprintf "bench: trace %s violates ta-trace/1: %s\n" !trace_path
+          msg;
+        exit 1

@@ -60,15 +60,54 @@ let csv_arg =
   in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a ta-trace/1 JSONL event trace of every simulation run to \
+     $(docv).  Byte-identical at any --jobs value."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "After the run, print the merged metrics registry and the per-stage \
+     span profile.  Only exec.*, scenarios.trace_cache.* and span timings \
+     depend on --jobs / wall clock."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let apply_trace trace = Option.iter (fun path -> Obs.Trace.enable ~path) trace
+
+let print_metrics () =
+  Format.fprintf fmt "@.== metrics ==@.%a" Obs.Metrics.Snapshot.pp
+    (Obs.Metrics.snapshot ());
+  match Obs.Span.snapshot () with
+  | [] -> ()
+  | spans ->
+      Format.fprintf fmt "== spans ==@.";
+      List.iter
+        (fun (s : Obs.Span.stat) ->
+          Format.fprintf fmt "span      %-44s count=%d total=%.3fs self=%.3fs@."
+            s.Obs.Span.name s.count s.total_s s.self_s)
+        spans
+
+let finish_obs metrics =
+  Obs.Trace.flush ();
+  if metrics then print_metrics ()
+
 let run_figure name f =
-  let run scale seed csv_dir jobs =
+  let run scale seed csv_dir jobs trace metrics =
     apply_jobs jobs;
+    apply_trace trace;
     Scenarios.Calibration.print_setup fmt;
     f ~scale ?seed ?csv_dir ();
+    finish_obs metrics;
     `Ok ()
   in
   let term =
-    Term.(ret (const run $ scale_arg $ seed_arg $ csv_arg $ jobs_arg))
+    Term.(
+      ret
+        (const run $ scale_arg $ seed_arg $ csv_arg $ jobs_arg $ trace_arg
+       $ metrics_arg))
   in
   let info = Cmd.info name ~doc:(Printf.sprintf "Reproduce %s." name) in
   Cmd.v info term
@@ -114,7 +153,7 @@ let faults_cmd =
     Arg.(value & opt (some (list float)) None
          & info [ "intensities" ] ~docv:"LIST" ~doc)
   in
-  let run scale seed csv_dir intensities jobs =
+  let run scale seed csv_dir intensities jobs trace metrics =
     match
       Option.bind intensities (fun xs ->
           List.find_opt (fun x -> Float.is_nan x || x < 0.0 || x > 1.0) xs)
@@ -123,10 +162,12 @@ let faults_cmd =
         `Error (false, Printf.sprintf "intensity %g outside [0, 1]" bad)
     | None ->
         apply_jobs jobs;
+        apply_trace trace;
         Scenarios.Calibration.print_setup fmt;
         ignore
           (Scenarios.Degradation.run ~scale ?seed ?csv_dir:csv_dir
              ?intensities fmt);
+        finish_obs metrics;
         `Ok ()
   in
   Cmd.v
@@ -137,11 +178,12 @@ let faults_cmd =
     Term.(
       ret
         (const run $ scale_arg $ seed_arg $ csv_arg $ intensities_arg
-       $ jobs_arg))
+       $ jobs_arg $ trace_arg $ metrics_arg))
 
 let ablations_cmd =
-  let run scale seed jobs =
+  let run scale seed jobs trace metrics =
     apply_jobs jobs;
+    apply_trace trace;
     let seed = Option.value seed ~default:51_000 in
     ignore (Scenarios.Ablations.run_jitter_models ~scale ~seed fmt);
     ignore (Scenarios.Ablations.run_vit_laws ~scale ~seed:(seed + 1) fmt);
@@ -155,11 +197,14 @@ let ablations_cmd =
     ignore (Scenarios.Ablations_ext.run_roc ~scale ~seed:(seed + 10) fmt);
     Scenarios.Ablations_ext.run_bounds_table fmt;
     ignore (Scenarios.Ablations_ext.run_qos_table ~seed:(seed + 8) fmt);
+    finish_obs metrics;
     `Ok ()
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Run all design-choice ablations.")
-    Term.(ret (const run $ scale_arg $ seed_arg $ jobs_arg))
+    Term.(
+      ret (const run $ scale_arg $ seed_arg $ jobs_arg $ trace_arg
+         $ metrics_arg))
 
 let theory_cmd =
   let r_arg =
@@ -292,8 +337,9 @@ let setup_cmd =
     Term.(ret (const run $ const ()))
 
 let all_cmd =
-  let run scale seed csv_dir jobs =
+  let run scale seed csv_dir jobs trace metrics =
     apply_jobs jobs;
+    apply_trace trace;
     Scenarios.Calibration.print_setup fmt;
     let s = Option.value seed ~default:42_000 in
     ignore (Scenarios.Fig4a.run ~scale ~seed:(s + 1) ?csv_dir fmt);
@@ -304,11 +350,15 @@ let all_cmd =
     ignore (Scenarios.Fig8.run ~scale ~seed:(s + 6) ~kind:Scenarios.Fig8.Campus ?csv_dir fmt);
     ignore (Scenarios.Fig8.run ~scale ~seed:(s + 7) ~kind:Scenarios.Fig8.Wan ?csv_dir fmt);
     ignore (Scenarios.Multirate.run ~scale ~seed:(s + 8) ?csv_dir fmt);
+    finish_obs metrics;
     `Ok ()
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every figure in sequence.")
-    Term.(ret (const run $ scale_arg $ seed_arg $ csv_arg $ jobs_arg))
+    Term.(
+      ret
+        (const run $ scale_arg $ seed_arg $ csv_arg $ jobs_arg $ trace_arg
+       $ metrics_arg))
 
 let main_cmd =
   let doc = "traffic-analysis countermeasure laboratory (Fu et al., ICPP 2003)" in
@@ -328,6 +378,14 @@ let () =
   | exception Sys_error msg ->
       Printf.eprintf "ta_lab: %s\n" msg;
       exit 125
+  | exception (Scenarios.Starvation.Tap_starved _ as e) ->
+      (* Commit whatever trace the dying run buffered — a partial trace is
+         the post-mortem — then report with the metrics snapshot instead
+         of an uncaught-exception backtrace. *)
+      Obs.Trace.flush ();
+      Format.eprintf "ta_lab: ";
+      ignore (Scenarios.Starvation.pp_starved Format.err_formatter e : bool);
+      exit 3
   | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
   | Error `Parse -> exit Cmd.Exit.cli_error
   | Error `Term -> exit Cmd.Exit.cli_error

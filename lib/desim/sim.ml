@@ -1,17 +1,45 @@
 type event = { mutable cancelled : bool; mutable run : unit -> unit }
 type handle = event
 
-type t = { mutable clock : float; queue : event Event_queue.t }
+type t = {
+  mutable clock : float;
+  queue : event Event_queue.t;
+  (* Local tallies, flushed to Obs by [publish_metrics]: the event loop is
+     the hottest path in the repo and must not touch domain-local storage
+     per event. *)
+  mutable events_processed : int;
+  mutable queue_hwm : int;
+}
 
-let create ?(start_time = 0.0) () = { clock = start_time; queue = Event_queue.create () }
+let create ?(start_time = 0.0) () =
+  {
+    clock = start_time;
+    queue = Event_queue.create ();
+    events_processed = 0;
+    queue_hwm = 0;
+  }
+
 let now t = t.clock
 let pending t = Event_queue.size t.queue
+let events_processed t = t.events_processed
+let queue_hwm t = t.queue_hwm
+
+let m_events = Obs.Metrics.counter "desim.events_processed"
+let m_hwm = Obs.Metrics.gauge "desim.queue_hwm"
+
+let publish_metrics t =
+  Obs.Metrics.add m_events t.events_processed;
+  Obs.Metrics.observe_hwm m_hwm (float_of_int t.queue_hwm);
+  t.events_processed <- 0;
+  t.queue_hwm <- 0
 
 let at t ~time run =
   if Float.is_nan time then invalid_arg "Sim.at: NaN time";
   if time < t.clock then invalid_arg "Sim.at: time in the past";
   let ev = { cancelled = false; run } in
   Event_queue.push t.queue ~time ev;
+  let depth = Event_queue.size t.queue in
+  if depth > t.queue_hwm then t.queue_hwm <- depth;
   ev
 
 let after t ~delay run =
@@ -49,6 +77,7 @@ let step t =
   | None -> false
   | Some (time, ev) ->
       t.clock <- time;
+      t.events_processed <- t.events_processed + 1;
       if not ev.cancelled then ev.run ();
       true
 

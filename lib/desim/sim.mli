@@ -21,6 +21,19 @@ val now : t -> float
 val pending : t -> int
 (** Number of scheduled (possibly cancelled) events still queued. *)
 
+val events_processed : t -> int
+(** Events popped since creation or the last {!publish_metrics}. *)
+
+val queue_hwm : t -> int
+(** Queue-depth high-water mark since creation or the last
+    {!publish_metrics}. *)
+
+val publish_metrics : t -> unit
+(** Flush the local tallies into the [Obs] registry
+    ([desim.events_processed] counter, [desim.queue_hwm] gauge) and reset
+    them.  Call once per finished simulation run; keeping tallies local
+    until then keeps the event loop free of shared-state traffic. *)
+
 val at : t -> time:float -> (unit -> unit) -> handle
 (** Schedule a callback at an absolute time.  Raises [Invalid_argument] if
     [time] is in the past (< now). *)

@@ -59,6 +59,14 @@ let acquire k =
 
 let release k = if k > 0 then ignore (Atomic.fetch_and_add tokens k)
 
+(* All exec.* metrics are wall-clock / scheduling facts, so they vary with
+   the worker count by design; determinism checks must filter the [exec.]
+   prefix out (Obs.Metrics.Snapshot.filter_prefix makes that cheap). *)
+let m_fanouts = Obs.Metrics.counter "exec.pool.fanouts"
+let m_sequential = Obs.Metrics.counter "exec.pool.sequential"
+let m_tasks = Obs.Metrics.counter "exec.pool.tasks"
+let m_domains = Obs.Metrics.counter "exec.pool.domains_spawned"
+
 (* Shared-counter work queue: each worker (the [extra] spawned domains
    plus the calling domain) repeatedly claims the next unclaimed index.
    [body] must not raise — task exceptions are captured per slot. *)
@@ -97,12 +105,21 @@ let run_indexed ?jobs n g =
     | Some j -> Stdlib.min j hard_cap
     | None -> default_jobs ()
   in
+  Obs.Metrics.add m_tasks n;
   let wanted = Stdlib.min (requested - 1) (n - 1) in
-  if wanted <= 0 then Array.init n g
+  if wanted <= 0 then begin
+    Obs.Metrics.incr m_sequential;
+    Array.init n g
+  end
   else begin
     let extra = acquire wanted in
-    if extra = 0 then Array.init n g
+    if extra = 0 then begin
+      Obs.Metrics.incr m_sequential;
+      Array.init n g
+    end
     else begin
+      Obs.Metrics.incr m_fanouts;
+      Obs.Metrics.add m_domains extra;
       let results = Array.make n None in
       let body i =
         results.(i) <-

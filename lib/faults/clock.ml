@@ -20,7 +20,15 @@ let validate spec =
 
 let catchup_spacing = 1e-6
 
-let intervals spec ~law ~rng =
+let m_missed = Obs.Metrics.counter "faults.clock.missed_fires"
+
+let trace ?sim name =
+  match sim with
+  | Some s when Obs.Trace.enabled () ->
+      Obs.Trace.event ~name ~t:(Desim.Sim.now s) []
+  | Some _ | None -> ()
+
+let intervals ?sim spec ~law ~rng =
   validate spec;
   Padding.Timer.validate law;
   let pending_catchup = ref 0 in
@@ -28,6 +36,7 @@ let intervals spec ~law ~rng =
   fun () ->
     if !pending_catchup > 0 then begin
       decr pending_catchup;
+      trace ?sim "timer.catchup";
       catchup_spacing
     end
     else begin
@@ -41,6 +50,8 @@ let intervals spec ~law ~rng =
         (* This period's fire is masked; the train only reaches the wire
            one (drifted) period later. *)
         incr missed;
+        Obs.Metrics.incr m_missed;
+        trace ?sim "timer.miss";
         span := !span +. draw ()
       done;
       if (not spec.coalesce) && !missed > 0 then pending_catchup := !missed;

@@ -41,7 +41,10 @@ val catchup_spacing : float
     {!Desim.Sim.every} requires. *)
 
 val intervals :
+  ?sim:Desim.Sim.t ->
   spec -> law:Padding.Timer.law -> rng:Prng.Rng.t -> unit -> float
 (** [intervals spec ~law ~rng] is a generator of successive faulty
     intervals; with [spec = ideal] it is distributionally identical to
-    drawing from [law] directly. *)
+    drawing from [law] directly.  Pass [?sim] to timestamp the
+    [timer.miss] / [timer.catchup] events in the [Obs.Trace] stream;
+    the generator itself never reads the clock. *)

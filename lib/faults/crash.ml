@@ -31,6 +31,9 @@ let spawn_gateway t =
 
 let exp_draw t = -.t.mtbf *. log (Prng.Rng.float_pos t.failure_rng)
 
+let m_crashes = Obs.Metrics.counter "faults.crash.crashes"
+let m_payload_lost = Obs.Metrics.counter "faults.crash.payload_lost"
+
 let rec arm_crash t =
   if (not t.stopped) && t.mtbf < infinity then
     t.pending <-
@@ -41,6 +44,11 @@ and crash t =
   | None -> ()
   | Some gw ->
       t.payload_lost <- t.payload_lost + Padding.Gateway.queue_length gw;
+      Obs.Metrics.incr m_crashes;
+      Obs.Metrics.add m_payload_lost (Padding.Gateway.queue_length gw);
+      if Obs.Trace.enabled () then
+        Obs.Trace.event ~name:"gateway.crash" ~t:(Desim.Sim.now t.sim)
+          [ ("queued", Obs.Trace.I (Padding.Gateway.queue_length gw)) ];
       t.payload_sent_acc <- t.payload_sent_acc + Padding.Gateway.payload_sent gw;
       t.dummy_sent_acc <- t.dummy_sent_acc + Padding.Gateway.dummy_sent gw;
       t.payload_dropped_acc <-
@@ -56,6 +64,8 @@ and crash t =
 and restart t =
   if not t.stopped then begin
     t.downtime_acc <- t.downtime_acc +. (Desim.Sim.now t.sim -. t.went_down);
+    if Obs.Trace.enabled () then
+      Obs.Trace.event ~name:"gateway.restart" ~t:(Desim.Sim.now t.sim) [];
     t.current <- Some (spawn_gateway t);
     arm_crash t
   end
@@ -100,7 +110,12 @@ let input t pkt =
     invalid_arg "Crash.input: only payload packets enter the sender gateway";
   match t.current with
   | Some gw -> Padding.Gateway.input gw pkt
-  | None -> t.payload_lost <- t.payload_lost + 1
+  | None ->
+      t.payload_lost <- t.payload_lost + 1;
+      Obs.Metrics.incr m_payload_lost;
+      if Obs.Trace.enabled () then
+        Obs.Trace.event ~name:"packet.dropped" ~t:(Desim.Sim.now t.sim)
+          [ ("cause", Obs.Trace.S "gw_down"); ("kind", Obs.Trace.S "payload") ]
 
 let stop t =
   t.stopped <- true;

@@ -85,16 +85,32 @@ let drops t =
       if flip then t.bad_state <- not t.bad_state;
       Prng.Rng.float t.rng < if t.bad_state then loss_bad else loss_good
 
+let m_lost = Obs.Metrics.counter "faults.lossy.lost"
+let m_duplicated = Obs.Metrics.counter "faults.lossy.duplicated"
+let m_reordered = Obs.Metrics.counter "faults.lossy.reordered"
+
+let trace_pkt t name extra pkt =
+  if Obs.Trace.enabled () then
+    Obs.Trace.event ~name ~t:(Desim.Sim.now t.sim)
+      (extra
+      @ [ ("kind", Obs.Trace.S (Netsim.Packet.kind_to_string pkt.Netsim.Packet.kind)) ])
+
 let deliver t pkt =
   t.passed <- t.passed + 1;
   t.dest pkt
 
 let send t pkt =
   t.offered <- t.offered + 1;
-  if drops t then t.lost <- t.lost + 1
+  if drops t then begin
+    t.lost <- t.lost + 1;
+    Obs.Metrics.incr m_lost;
+    trace_pkt t "packet.dropped" [ ("cause", Obs.Trace.S "loss") ] pkt
+  end
   else begin
     (if t.reorder_prob > 0.0 && Prng.Rng.float t.rng < t.reorder_prob then begin
        t.reordered <- t.reordered + 1;
+       Obs.Metrics.incr m_reordered;
+       trace_pkt t "packet.reordered" [] pkt;
        let hold =
          Prng.Rng.float_range t.rng ~lo:0.0 ~hi:t.reorder_delay
          +. (t.reorder_delay *. 1e-9)
@@ -105,6 +121,8 @@ let send t pkt =
      else deliver t pkt);
     if t.dup_prob > 0.0 && Prng.Rng.float t.rng < t.dup_prob then begin
       t.duplicated <- t.duplicated + 1;
+      Obs.Metrics.incr m_duplicated;
+      trace_pkt t "packet.dup" [] pkt;
       deliver t pkt
     end
   end

@@ -25,18 +25,27 @@ let create sim ~dest () =
 
 let is_up t = t.down_depth = 0
 
+let m_outages = Obs.Metrics.counter "faults.outage.outages"
+let m_dropped = Obs.Metrics.counter "faults.outage.dropped"
+
 let go_down t =
   if t.down_depth = 0 then begin
     t.went_down <- Desim.Sim.now t.sim;
-    t.outages <- t.outages + 1
+    t.outages <- t.outages + 1;
+    Obs.Metrics.incr m_outages;
+    if Obs.Trace.enabled () then
+      Obs.Trace.event ~name:"outage.start" ~t:(Desim.Sim.now t.sim) []
   end;
   t.down_depth <- t.down_depth + 1
 
 let go_up t =
   if t.down_depth <= 0 then invalid_arg "Outage: up without matching down";
   t.down_depth <- t.down_depth - 1;
-  if t.down_depth = 0 then
-    t.downtime_acc <- t.downtime_acc +. (Desim.Sim.now t.sim -. t.went_down)
+  if t.down_depth = 0 then begin
+    t.downtime_acc <- t.downtime_acc +. (Desim.Sim.now t.sim -. t.went_down);
+    if Obs.Trace.enabled () then
+      Obs.Trace.event ~name:"outage.end" ~t:(Desim.Sim.now t.sim) []
+  end
 
 let schedule t ~at ~duration =
   if duration <= 0.0 || Float.is_nan duration then
@@ -90,7 +99,16 @@ let stop_flapping t =
   | None -> ()
 
 let send t pkt =
-  if t.down_depth > 0 then t.dropped <- t.dropped + 1
+  if t.down_depth > 0 then begin
+    t.dropped <- t.dropped + 1;
+    Obs.Metrics.incr m_dropped;
+    if Obs.Trace.enabled () then
+      Obs.Trace.event ~name:"packet.dropped" ~t:(Desim.Sim.now t.sim)
+        [
+          ("cause", Obs.Trace.S "outage");
+          ("kind", Obs.Trace.S (Netsim.Packet.kind_to_string pkt.Netsim.Packet.kind));
+        ]
+  end
   else begin
     t.forwarded <- t.forwarded + 1;
     t.dest pkt

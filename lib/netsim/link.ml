@@ -9,10 +9,15 @@ type t = {
   created_at : float;
   mutable busy_until : float;
   mutable queue_depth : int;
+  mutable queue_hwm : int;
   mutable sent : int;
   mutable dropped : int;
   mutable busy_time : float;
 }
+
+let m_enqueued = Obs.Metrics.counter "netsim.link.enqueued"
+let m_dropped = Obs.Metrics.counter "netsim.link.dropped"
+let g_queue_hwm = Obs.Metrics.gauge "netsim.link.queue_hwm"
 
 let create sim ~bandwidth_bps ?(propagation = 0.0) ?queue_limit ~dest () =
   if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth <= 0";
@@ -29,6 +34,7 @@ let create sim ~bandwidth_bps ?(propagation = 0.0) ?queue_limit ~dest () =
     created_at = Desim.Sim.now sim;
     busy_until = Desim.Sim.now sim;
     queue_depth = 0;
+    queue_hwm = 0;
     sent = 0;
     dropped = 0;
     busy_time = 0.0;
@@ -39,7 +45,16 @@ let send t pkt =
   let over_limit =
     match t.queue_limit with Some l -> t.queue_depth >= l | None -> false
   in
-  if over_limit then t.dropped <- t.dropped + 1
+  if over_limit then begin
+    t.dropped <- t.dropped + 1;
+    Obs.Metrics.incr m_dropped;
+    if Obs.Trace.enabled () then
+      Obs.Trace.event ~name:"packet.dropped" ~t:now
+        [
+          ("cause", Obs.Trace.S "link_queue");
+          ("kind", Obs.Trace.S (Packet.kind_to_string pkt.Packet.kind));
+        ]
+  end
   else begin
     let start = Float.max now t.busy_until in
     let tx = float_of_int pkt.Packet.size_bytes *. 8.0 /. t.bandwidth_bps in
@@ -47,6 +62,11 @@ let send t pkt =
     t.busy_until <- finish;
     t.busy_time <- t.busy_time +. tx;
     t.queue_depth <- t.queue_depth + 1;
+    Obs.Metrics.incr m_enqueued;
+    if t.queue_depth > t.queue_hwm then begin
+      t.queue_hwm <- t.queue_depth;
+      Obs.Metrics.observe_hwm g_queue_hwm (float_of_int t.queue_depth)
+    end;
     (* The packet leaves the transmitter (and the queue) at [finish]; it
        reaches the far end one propagation delay later.  Fuse the two
        events when there is no propagation delay — that halves the event

@@ -15,8 +15,23 @@ let create sim ?(accept = Packet.is_padded) ~dest () =
     sizes = Fvec.create ~capacity:1024 ();
   }
 
+let m_observed = Obs.Metrics.counter "netsim.tap.observed"
+let m_payload = Obs.Metrics.counter "netsim.tap.payload"
+let m_dummy = Obs.Metrics.counter "netsim.tap.dummy"
+
 let port t pkt =
   if t.accept pkt then begin
+    Obs.Metrics.incr m_observed;
+    (match pkt.Packet.kind with
+    | Packet.Payload -> Obs.Metrics.incr m_payload
+    | Packet.Dummy -> Obs.Metrics.incr m_dummy
+    | Packet.Cross -> ());
+    if Obs.Trace.enabled () then
+      Obs.Trace.event ~name:"tap.observe" ~t:(Desim.Sim.now t.sim)
+        [
+          ("kind", Obs.Trace.S (Packet.kind_to_string pkt.Packet.kind));
+          ("size", Obs.Trace.I pkt.Packet.size_bytes);
+        ];
     Fvec.push t.times (Desim.Sim.now t.sim);
     Fvec.push t.sizes (float_of_int pkt.Packet.size_bytes)
   end;

@@ -92,4 +92,12 @@ let chain sim ~rng ~hops ~tap_position ?dest () =
     sink_count = (fun () -> !received);
   }
 
-let stop_cross t = List.iter Traffic_gen.stop t.cross_sources
+let h_utilization = Obs.Metrics.histogram "netsim.link.utilization"
+
+let stop_cross t =
+  (* End-of-run hook for every scenario: fold each hop's lifetime
+     utilization into the registry while the links are still in scope. *)
+  Array.iter
+    (fun r -> Obs.Metrics.observe h_utilization (Link.utilization (Router.link r)))
+    t.routers;
+  List.iter Traffic_gen.stop t.cross_sources

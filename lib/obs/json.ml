@@ -1,0 +1,204 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+let fail pos msg = raise (Bad (Printf.sprintf "offset %d: %s" pos msg))
+
+type state = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    && match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> fail st.pos (Printf.sprintf "expected %c" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.s
+    && String.sub st.s st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st.pos (Printf.sprintf "expected %s" word)
+
+let utf8_of_code buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.s then fail st.pos "unterminated string";
+    let c = st.s.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        if st.pos >= String.length st.s then fail st.pos "dangling escape";
+        let e = st.s.[st.pos] in
+        st.pos <- st.pos + 1;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            if st.pos + 4 > String.length st.s then fail st.pos "short \\u";
+            let hex = String.sub st.s st.pos 4 in
+            st.pos <- st.pos + 4;
+            let code =
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some c -> c
+              | None -> fail st.pos "bad \\u digits"
+            in
+            if code >= 0xD800 && code <= 0xDFFF then
+              fail st.pos "surrogate \\u escapes unsupported";
+            utf8_of_code buf code
+        | _ -> fail st.pos "bad escape");
+        go ())
+    | c when Char.code c < 0x20 -> fail st.pos "raw control char in string"
+    | c ->
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.s && is_num_char st.s.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  let slice = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt slice with
+  | Some f when Float.is_finite f -> Num f
+  | Some _ | None -> fail start (Printf.sprintf "bad number %S" slice)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st.pos "unexpected end of input"
+  | Some '"' -> Str (parse_string st)
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_arr st
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st.pos (Printf.sprintf "unexpected %C" c)
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    st.pos <- st.pos + 1;
+    Obj []
+  end
+  else begin
+    let fields = ref [] in
+    let rec go () =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      fields := (key, v) :: !fields;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          st.pos <- st.pos + 1;
+          go ()
+      | Some '}' -> st.pos <- st.pos + 1
+      | _ -> fail st.pos "expected , or } in object"
+    in
+    go ();
+    Obj (List.rev !fields)
+  end
+
+and parse_arr st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    st.pos <- st.pos + 1;
+    Arr []
+  end
+  else begin
+    let items = ref [] in
+    let rec go () =
+      let v = parse_value st in
+      items := v :: !items;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          st.pos <- st.pos + 1;
+          go ()
+      | Some ']' -> st.pos <- st.pos + 1
+      | _ -> fail st.pos "expected , or ] in array"
+    in
+    go ();
+    Arr (List.rev !items)
+  end
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos <> String.length s then
+        Error (Printf.sprintf "offset %d: trailing garbage" st.pos)
+      else Ok v
+  | exception Bad msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Num _ | Str _ | Arr _ -> None
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

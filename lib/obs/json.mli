@@ -1,0 +1,22 @@
+(** Minimal JSON support for the observability layer: enough to emit
+    (escape) and re-parse (validate) the [ta-trace/1] JSONL lines and the
+    [ta-bench/2] report without an external dependency.  Not a general
+    JSON library: numbers are floats, duplicate object keys keep the first
+    occurrence, and astral-plane [\u] escapes are rejected. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] — [None] on missing key or non-object. *)
+
+val escape : string -> string
+(** Escape for inclusion between double quotes in a JSON string. *)

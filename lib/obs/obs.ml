@@ -1,0 +1,9 @@
+(** Umbrella for the observability layer: metrics registry, spans,
+    JSONL event traces, and the minimal JSON codec they share. *)
+
+module Metrics = Metrics
+module Span = Span
+module Trace = Trace
+module Json = Json
+
+let span = Span.run

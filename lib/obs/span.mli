@@ -1,0 +1,26 @@
+(** Lightweight wall-clock spans feeding a per-stage profile.
+
+    [run "fig4b.score" f] times [f] and accumulates the elapsed seconds
+    under the span name.  Spans nest: each domain keeps its own active
+    stack, a child's elapsed time is charged to the parent's child-time,
+    and the parent's {e self} time is its total minus its children — so
+    self-times are never negative and a stage's exclusive cost can be read
+    directly.  Timing values are wall-clock and therefore vary run to run;
+    they are surfaced by [ta_lab --metrics] and [bench --json] but are
+    never part of any published table. *)
+
+val run : string -> (unit -> 'a) -> 'a
+(** Time [f] under [name]; exception-safe (the span closes either way). *)
+
+type stat = {
+  name : string;
+  count : int;  (** completed spans under this name *)
+  total_s : float;  (** inclusive wall-clock seconds *)
+  self_s : float;  (** exclusive: total minus time spent in child spans *)
+}
+
+val snapshot : unit -> stat list
+(** Completed-span stats, sorted by name. *)
+
+val reset : unit -> unit
+(** Drop all accumulated stats (active spans are unaffected). *)

@@ -16,9 +16,17 @@ type t = {
   mutable timer_handle : Desim.Sim.handle option;
 }
 
+let m_fires = Obs.Metrics.counter "padding.gateway.fires"
+let m_payload_sent = Obs.Metrics.counter "padding.gateway.payload_sent"
+let m_dummy_sent = Obs.Metrics.counter "padding.gateway.dummy_sent"
+let m_payload_dropped = Obs.Metrics.counter "padding.gateway.payload_dropped"
+let h_occupancy = Obs.Metrics.histogram "padding.gateway.queue_occupancy"
+
 let on_fire t () =
   let now = Desim.Sim.now t.sim in
   t.fires <- t.fires + 1;
+  Obs.Metrics.incr m_fires;
+  Obs.Metrics.observe h_occupancy (float_of_int (Queue.length t.queue));
   (* Count payload NIC interrupts landing in the blocking window before
      this fire; prune older entries (they can no longer block anything). *)
   let window_start = now -. Jitter.irq_window in
@@ -41,14 +49,25 @@ let on_fire t () =
   let pkt =
     if sends_payload then begin
       t.payload_sent <- t.payload_sent + 1;
+      Obs.Metrics.incr m_payload_sent;
       Queue.pop t.queue
     end
     else begin
       t.dummy_sent <- t.dummy_sent + 1;
+      Obs.Metrics.incr m_dummy_sent;
       Netsim.Packet.make ~kind:Netsim.Packet.Dummy ~size_bytes:t.packet_size
         ~created:now
     end
   in
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.event ~name:"timer.fire" ~t:now
+      [ ("q", Obs.Trace.I (Queue.length t.queue)) ];
+    Obs.Trace.event ~name:"packet.sent" ~t:emit_time
+      [
+        ("kind", Obs.Trace.S (Netsim.Packet.kind_to_string pkt.Netsim.Packet.kind));
+        ("size", Obs.Trace.I pkt.Netsim.Packet.size_bytes);
+      ]
+  end;
   ignore (Desim.Sim.at t.sim ~time:emit_time (fun () -> t.dest pkt) : Desim.Sim.handle)
 
 let create sim ~rng ~timer ~jitter ?(packet_size = 500) ?queue_limit ?interval
@@ -97,7 +116,13 @@ let input t pkt =
   (* The NIC interrupt fires for every arriving packet, even one the queue
      then drops — record it before the capacity check. *)
   Queue.push (Desim.Sim.now t.sim) t.recent_arrivals;
-  if over then t.payload_dropped <- t.payload_dropped + 1
+  if over then begin
+    t.payload_dropped <- t.payload_dropped + 1;
+    Obs.Metrics.incr m_payload_dropped;
+    if Obs.Trace.enabled () then
+      Obs.Trace.event ~name:"packet.dropped" ~t:(Desim.Sim.now t.sim)
+        [ ("cause", Obs.Trace.S "gw_queue"); ("kind", Obs.Trace.S "payload") ]
+  end
   else Queue.push pkt t.queue
 
 let stop t =

@@ -39,8 +39,10 @@ let profile_of_intensity x =
           max_consecutive_misses = 4;
         };
       (* Flap/crash rates chosen so a 0.1-intensity run of a few simulated
-         minutes sees a handful of each. *)
-      flap = Some (10.0 /. x, 0.3);
+         minutes sees a handful of each.  Full intensity is a permanent
+         blackout: the wire goes down within the first second and never
+         comes back, so the run must end in [Starvation.Tap_starved]. *)
+      flap = (if x >= 1.0 then Some (0.5, 1e18) else Some (10.0 /. x, 0.3));
       mtbf = 60.0 /. x;
       restart_delay = 1.0;
     }
@@ -92,22 +94,19 @@ let validate cfg =
 
 (* Advance until the tap holds [target] timestamps.  The chunk estimate
    uses the *surviving* packet rate so heavy-fault runs do not starve the
-   chunking loop. *)
+   chunking loop; a run that truly stops making progress raises
+   [Starvation.Tap_starved] with the metrics snapshot. *)
 let run_until_tap_count sim ~tap ~target ~expected_rate =
-  let max_chunks = 1_000_000 in
-  let chunks = ref 0 in
-  while Netsim.Tap.count tap < target && !chunks < max_chunks do
-    incr chunks;
-    let missing = target - Netsim.Tap.count tap in
-    let dt = Float.max (float_of_int missing /. expected_rate *. 1.2) 0.2 in
-    Desim.Sim.run_until sim ~time:(Desim.Sim.now sim +. dt)
-  done;
-  if Netsim.Tap.count tap < target then
-    failwith "Degradation.run_faulty: tap starved (fault rates too high?)"
+  Starvation.run_until_tap_count ~scenario:"degradation.run" ~slack:1.2
+    ~min_chunk:0.2 sim ~tap ~target ~expected_rate
 
 let run_faulty cfg ~piats =
   validate cfg;
   if piats < 1 then invalid_arg "Degradation.run_faulty: piats < 1";
+  Obs.Trace.with_run
+    (Printf.sprintf "degradation.run seed=%d pps=%g" cfg.seed
+       cfg.payload_rate_pps)
+  @@ fun () ->
   let p = cfg.profile in
   let sim = Desim.Sim.create () in
   let root = Prng.Rng.create ~seed:cfg.seed in
@@ -127,7 +126,7 @@ let run_faulty cfg ~piats =
   in
   let interval =
     if p.clock = Faults.Clock.ideal then None
-    else Some (Faults.Clock.intervals p.clock ~law:cfg.timer ~rng:rng_clock)
+    else Some (Faults.Clock.intervals ~sim p.clock ~law:cfg.timer ~rng:rng_clock)
   in
   let crash =
     Faults.Crash.create sim ~rng:rng_gateway ~failure_rng:rng_failure
@@ -144,7 +143,7 @@ let run_faulty cfg ~piats =
       ~rate_pps:cfg.payload_rate_pps ~size_bytes:cfg.packet_size
       ~kind:Netsim.Packet.Payload ~dest:(Faults.Crash.input crash) ()
   in
-  let target = piats + cfg.warmup_piats + 1 in
+  let target = piats + cfg.warmup_piats + 2 in
   let fire_rate = 1.0 /. Padding.Timer.mean cfg.timer in
   let survive =
     (1.0 -. Faults.Lossy.expected_loss_rate p.loss)
@@ -155,6 +154,7 @@ let run_faulty cfg ~piats =
   Netsim.Traffic_gen.stop source;
   Faults.Crash.stop crash;
   Faults.Outage.stop_flapping outage;
+  Desim.Sim.publish_metrics sim;
   let timestamps = Netsim.Tap.timestamps tap in
   let drop = cfg.warmup_piats + 1 in
   let n = Array.length timestamps in

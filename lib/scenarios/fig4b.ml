@@ -16,16 +16,20 @@ let run ?(scale = 1.0) ?(seed = 42_002) ?(sample_sizes = default_sample_sizes)
     | None -> { System.default_config with System.seed }
     | Some jitter -> { System.default_config with System.seed; jitter }
   in
-  let traces = Workload.collect_pair ~base ~piats:(max_n * windows) in
+  let traces =
+    Obs.span "fig4b.collect" (fun () ->
+        Workload.collect_pair ~base ~piats:(max_n * windows))
+  in
   (* Scoring is pure (no RNG): each sample size can be scored in parallel
      without affecting the result. *)
   let rows =
-    List.concat
-      (Exec.Pool.parallel_map
-         (fun n ->
-           Workload.score traces ~features:Adversary.Feature.standard_set
-             ~sample_size:n)
-         sample_sizes)
+    Obs.span "fig4b.score" (fun () ->
+        List.concat
+          (Exec.Pool.parallel_map
+             (fun n ->
+               Workload.score traces ~features:Adversary.Feature.standard_set
+                 ~sample_size:n)
+             sample_sizes))
   in
   let table =
     Table.create

@@ -52,18 +52,11 @@ let start_payload_source sim ~model ~rng ~rate_pps ~size_bytes ~dest =
         ~kind:Netsim.Packet.Payload ~dest ()
 
 (* Advance the simulation until the tap holds [target] timestamps; chunked
-   so we stop close to (not far past) the goal. *)
-let run_until_tap_count sim ~tap ~target ~expected_rate =
-  let max_chunks = 1_000_000 in
-  let chunks = ref 0 in
-  while Netsim.Tap.count tap < target && !chunks < max_chunks do
-    incr chunks;
-    let missing = target - Netsim.Tap.count tap in
-    let dt = Float.max (float_of_int missing /. expected_rate *. 1.1) 0.1 in
-    Desim.Sim.run_until sim ~time:(Desim.Sim.now sim +. dt)
-  done;
-  if Netsim.Tap.count tap < target then
-    failwith "System.run: tap starved (no padded traffic reaching the tap?)"
+   so we stop close to (not far past) the goal.  Raises
+   [Starvation.Tap_starved] when padded traffic stops reaching the tap. *)
+let run_until_tap_count ~scenario sim ~tap ~target ~expected_rate =
+  Starvation.run_until_tap_count ~scenario ~slack:1.1 ~min_chunk:0.1 sim ~tap
+    ~target ~expected_rate
 
 let trim_warmup cfg timestamps =
   (* Dropping the first (warmup+1) timestamps drops the first warmup PIATs. *)
@@ -78,6 +71,9 @@ let piats_of_timestamps ts =
 let run cfg ~piats =
   validate cfg;
   if piats < 1 then invalid_arg "System.run: piats < 1";
+  Obs.Trace.with_run
+    (Printf.sprintf "system.run seed=%d pps=%g" cfg.seed cfg.payload_rate_pps)
+  @@ fun () ->
   let sim = Desim.Sim.create () in
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
@@ -99,12 +95,16 @@ let run cfg ~piats =
       ~rate_pps:cfg.payload_rate_pps ~size_bytes:cfg.packet_size
       ~dest:(Padding.Gateway.input gateway)
   in
-  let target = piats + cfg.warmup_piats + 1 in
+  (* [piats] gaps need piats + 1 timestamps after the trim drops
+     warmup + 1 of them; chunked running may stop exactly on target. *)
+  let target = piats + cfg.warmup_piats + 2 in
   let expected_rate = 1.0 /. Padding.Timer.mean cfg.timer in
-  run_until_tap_count sim ~tap:topo.Netsim.Topology.tap ~target ~expected_rate;
+  run_until_tap_count ~scenario:"system.run" sim ~tap:topo.Netsim.Topology.tap
+    ~target ~expected_rate;
   Netsim.Traffic_gen.stop source;
   Padding.Gateway.stop gateway;
   Netsim.Topology.stop_cross topo;
+  Desim.Sim.publish_metrics sim;
   let timestamps = trim_warmup cfg (Netsim.Tap.timestamps topo.Netsim.Topology.tap) in
   let all_piats = piats_of_timestamps timestamps in
   let piats_arr =
@@ -125,6 +125,9 @@ let run cfg ~piats =
 let run_mix ?(threshold = 8) ?(timeout = 0.5) cfg ~piats =
   validate cfg;
   if piats < 1 then invalid_arg "System.run_mix: piats < 1";
+  Obs.Trace.with_run
+    (Printf.sprintf "system.mix seed=%d pps=%g" cfg.seed cfg.payload_rate_pps)
+  @@ fun () ->
   let sim = Desim.Sim.create () in
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
@@ -146,14 +149,15 @@ let run_mix ?(threshold = 8) ?(timeout = 0.5) cfg ~piats =
       ~rate_pps:cfg.payload_rate_pps ~size_bytes:cfg.packet_size
       ~dest:(Padding.Mix.input mix)
   in
-  let target = piats + cfg.warmup_piats + 1 in
+  let target = piats + cfg.warmup_piats + 2 in
   (* Each timeout flush emits [threshold] packets, so the slowest possible
      wire rate is threshold/timeout. *)
-  run_until_tap_count sim ~tap:topo.Netsim.Topology.tap ~target
-    ~expected_rate:(float_of_int threshold /. timeout);
+  run_until_tap_count ~scenario:"system.mix" sim ~tap:topo.Netsim.Topology.tap
+    ~target ~expected_rate:(float_of_int threshold /. timeout);
   Netsim.Traffic_gen.stop source;
   Padding.Mix.stop mix;
   Netsim.Topology.stop_cross topo;
+  Desim.Sim.publish_metrics sim;
   let timestamps = trim_warmup cfg (Netsim.Tap.timestamps topo.Netsim.Topology.tap) in
   let all_piats = piats_of_timestamps timestamps in
   let piats_arr =
@@ -174,6 +178,10 @@ let run_mix ?(threshold = 8) ?(timeout = 0.5) cfg ~piats =
 let run_adaptive ?(min_period = 0.010) ?(max_period = 0.040) cfg ~piats =
   validate cfg;
   if piats < 1 then invalid_arg "System.run_adaptive: piats < 1";
+  Obs.Trace.with_run
+    (Printf.sprintf "system.adaptive seed=%d pps=%g" cfg.seed
+       cfg.payload_rate_pps)
+  @@ fun () ->
   let sim = Desim.Sim.create () in
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
@@ -196,13 +204,14 @@ let run_adaptive ?(min_period = 0.010) ?(max_period = 0.040) cfg ~piats =
       ~rate_pps:cfg.payload_rate_pps ~size_bytes:cfg.packet_size
       ~dest:(Padding.Adaptive.input gateway)
   in
-  let target = piats + cfg.warmup_piats + 1 in
+  let target = piats + cfg.warmup_piats + 2 in
   (* Worst case the adaptive gateway idles at max_period. *)
-  run_until_tap_count sim ~tap:topo.Netsim.Topology.tap ~target
-    ~expected_rate:(1.0 /. max_period);
+  run_until_tap_count ~scenario:"system.adaptive" sim
+    ~tap:topo.Netsim.Topology.tap ~target ~expected_rate:(1.0 /. max_period);
   Netsim.Traffic_gen.stop source;
   Padding.Adaptive.stop gateway;
   Netsim.Topology.stop_cross topo;
+  Desim.Sim.publish_metrics sim;
   let timestamps = trim_warmup cfg (Netsim.Tap.timestamps topo.Netsim.Topology.tap) in
   let all_piats = piats_of_timestamps timestamps in
   let piats_arr =
@@ -223,6 +232,10 @@ let run_adaptive ?(min_period = 0.010) ?(max_period = 0.040) cfg ~piats =
 let run_unpadded cfg ~packets =
   validate cfg;
   if packets < 1 then invalid_arg "System.run_unpadded: packets < 1";
+  Obs.Trace.with_run
+    (Printf.sprintf "system.unpadded seed=%d pps=%g" cfg.seed
+       cfg.payload_rate_pps)
+  @@ fun () ->
   let sim = Desim.Sim.create () in
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
@@ -240,11 +253,12 @@ let run_unpadded cfg ~packets =
       ~rate_pps:cfg.payload_rate_pps ~size_bytes:cfg.packet_size
       ~dest:topo.Netsim.Topology.entry
   in
-  let target = packets + cfg.warmup_piats + 1 in
-  run_until_tap_count sim ~tap:topo.Netsim.Topology.tap ~target
-    ~expected_rate:cfg.payload_rate_pps;
+  let target = packets + cfg.warmup_piats + 2 in
+  run_until_tap_count ~scenario:"system.unpadded" sim
+    ~tap:topo.Netsim.Topology.tap ~target ~expected_rate:cfg.payload_rate_pps;
   Netsim.Traffic_gen.stop source;
   Netsim.Topology.stop_cross topo;
+  Desim.Sim.publish_metrics sim;
   let timestamps = trim_warmup cfg (Netsim.Tap.timestamps topo.Netsim.Topology.tap) in
   {
     piats = piats_of_timestamps timestamps;

@@ -30,6 +30,12 @@ type stats = { hits : int; misses : int }
 let stats () =
   Mutex.protect mutex (fun () -> { hits = !hits; misses = !misses })
 
+(* Hit/miss counts can depend on worker interleaving (two workers may
+   both miss a key that would hit sequentially), so like exec.* these are
+   excluded from jobs-determinism comparisons. *)
+let m_hits = Obs.Metrics.counter "scenarios.trace_cache.hits"
+let m_misses = Obs.Metrics.counter "scenarios.trace_cache.misses"
+
 let run cfg ~piats =
   let key = (cfg, piats) in
   let cached =
@@ -37,9 +43,11 @@ let run cfg ~piats =
         match Hashtbl.find_opt table key with
         | Some r ->
             incr hits;
+            Obs.Metrics.incr m_hits;
             Some r
         | None ->
             incr misses;
+            Obs.Metrics.incr m_misses;
             None)
   in
   match cached with

@@ -23,6 +23,8 @@ let () =
       ("sizes", Test_sizes.suite);
       ("faults", Test_faults.suite);
       ("exec", Test_exec.suite);
+      ("obs", Test_obs.suite);
+      ("obs.trace", Test_trace_schema.suite);
       ("integration", Test_integration.suite);
       ("stress", Test_stress.suite);
     ]
