@@ -20,6 +20,7 @@ let jobs = ref 0 (* 0 = auto: EXEC_JOBS or available cores *)
 let json_path = ref ""
 let trace_path = ref ""
 let check_trace = ref false
+let intensities : float list option ref = ref None
 
 let known_figures =
   [
@@ -55,6 +56,20 @@ let args =
       Arg.Set check_trace,
       " after the run, validate the --trace file against ta-trace/1 (exit \
        1 on violation)" );
+    ( "--intensities",
+      Arg.String
+        (fun s ->
+          let parse_one tok =
+            match float_of_string_opt tok with
+            | Some x when Float.is_finite x && x >= 0.0 && x <= 1.0 -> x
+            | Some _ | None ->
+                raise
+                  (Arg.Bad
+                     (Printf.sprintf "intensity %S outside [0, 1]" tok))
+          in
+          intensities := Some (List.map parse_one (String.split_on_char ',' s))),
+      "LIST comma-separated fault intensities in [0,1] for the faults \
+       stage (default 0,0.02,0.05,0.1,0.2,0.4)" );
   ]
 
 let wanted id =
@@ -99,7 +114,8 @@ let run_figures () =
       ignore (Scenarios.Multirate.run ~scale ~seed:(s + 8) ?csv_dir:(csv ()) fmt));
   timed "faults" (fun () ->
       ignore
-        (Scenarios.Degradation.run ~scale ~seed:(s + 20) ?csv_dir:(csv ()) fmt));
+        (Scenarios.Degradation.run ~scale ~seed:(s + 20)
+           ?intensities:!intensities ?csv_dir:(csv ()) fmt));
   timed "ablations" (fun () ->
       ignore (Scenarios.Ablations.run_jitter_models ~scale ~seed:(s + 9) fmt);
       ignore (Scenarios.Ablations.run_vit_laws ~scale ~seed:(s + 10) fmt);
@@ -368,7 +384,14 @@ let () =
     (if resolved_jobs = 1 then "" else "s");
   if !trace_path <> "" then Obs.Trace.enable ~path:!trace_path;
   let t0 = Unix.gettimeofday () in
-  run_figures ();
+  (* Same contract as ta_lab: a starved tap is a diagnosed failure, not a
+     backtrace — commit the partial trace, print the report, exit 3. *)
+  (try run_figures ()
+   with Scenarios.Starvation.Tap_starved _ as e ->
+     Obs.Trace.flush ();
+     Format.eprintf "bench: ";
+     ignore (Scenarios.Starvation.pp_starved Format.err_formatter e : bool);
+     exit 3);
   Obs.Trace.flush ();
   let micro = if !run_micro then run_micro_benchmarks () else [] in
   let total = Unix.gettimeofday () -. t0 in

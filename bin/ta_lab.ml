@@ -387,6 +387,8 @@ let () =
       ignore (Scenarios.Starvation.pp_starved Format.err_formatter e : bool);
       exit 3
   | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
-  | Error `Parse -> exit Cmd.Exit.cli_error
-  | Error `Term -> exit Cmd.Exit.cli_error
+  (* Invalid CLI exits 2 across the repo (bench, talint, Arg-based
+     tools); Cmdliner's default 124 would break that contract. *)
+  | Error `Parse -> exit 2
+  | Error `Term -> exit 2
   | Error `Exn -> exit Cmd.Exit.internal_error

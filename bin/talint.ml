@@ -1,0 +1,53 @@
+(* talint — the repo's determinism & domain-safety lint pass.
+
+     dune build @lint                    # the usual gate
+     dune exec bin/talint.exe -- --format json
+     dune exec bin/talint.exe -- --rules # list rule ids
+
+   Exit codes: 0 clean, 1 findings, 2 bad CLI / unusable root. *)
+
+let root = ref ""
+let format = ref "text"
+let list_rules = ref false
+
+let args =
+  [
+    ( "--root",
+      Arg.Set_string root,
+      "DIR project root to lint (default: auto-detect from dune-project)" );
+    ( "--format",
+      Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
+      " report format (json = schema talint/1)" );
+    ("--rules", Arg.Set list_rules, " list rule ids and exit");
+  ]
+
+let () =
+  Arg.parse args
+    (fun anon -> raise (Arg.Bad ("unexpected argument: " ^ anon)))
+    "talint -- determinism & domain-safety lint over lib/, bin/ and bench/";
+  if !list_rules then begin
+    List.iter
+      (fun r -> Printf.printf "%s  %s\n" r.Lint.Rules.id r.Lint.Rules.summary)
+      Lint.Rules.all_rules;
+    exit 0
+  end;
+  let root =
+    if !root <> "" then !root
+    else
+      match Lint.Driver.find_root () with
+      | Some r -> r
+      | None ->
+          prerr_endline
+            "talint: cannot locate the project root (no dune-project found \
+             above the current directory); pass --root DIR";
+          exit 2
+  in
+  match Lint.Driver.run ~root with
+  | exception Lint.Driver.Error msg ->
+      Printf.eprintf "talint: %s\n" msg;
+      exit 2
+  | report ->
+      (match !format with
+      | "json" -> print_string (Lint.Driver.to_json report)
+      | _ -> Format.printf "%a" Lint.Driver.pp_text report);
+      exit (if report.Lint.Driver.findings = [] then 0 else 1)

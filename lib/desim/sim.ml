@@ -91,9 +91,11 @@ let run_until t ~time =
   done;
   if time > t.clock then t.clock <- time
 
+exception Event_budget_exceeded of { max_events : int }
+
 let run_all ?(max_events = 100_000_000) t =
   let count = ref 0 in
   while step t do
     incr count;
-    if !count > max_events then failwith "Sim.run_all: event budget exceeded"
+    if !count > max_events then raise (Event_budget_exceeded { max_events })
   done

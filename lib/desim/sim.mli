@@ -58,6 +58,11 @@ val run_until : t -> time:float -> unit
 (** Execute all events with timestamp <= [time]; afterwards [now] = [time].
     Callbacks may schedule more events, including at the current instant. *)
 
+exception Event_budget_exceeded of { max_events : int }
+(** Raised by {!run_all} when the event budget is exhausted — the
+    runaway-self-scheduling guard. *)
+
 val run_all : ?max_events:int -> t -> unit
 (** Drain the queue completely; [max_events] (default 100 million) guards
-    against runaway self-scheduling loops and raises [Failure]. *)
+    against runaway self-scheduling loops by raising
+    {!Event_budget_exceeded}. *)

@@ -1,0 +1,134 @@
+(* Tree walker + report rendering.  The driver never prints by itself
+   (that would trip D003); bin/talint.ml owns stdout. *)
+
+exception Error of string
+
+let find_root ?from () =
+  let start = match from with Some d -> d | None -> Sys.getcwd () in
+  let looks_like_root dir =
+    Sys.file_exists (Filename.concat dir "dune-project")
+    && (let lib = Filename.concat dir "lib" in
+        Sys.file_exists lib && Sys.is_directory lib)
+  in
+  let rec up dir depth =
+    if depth > 16 then None
+    else if looks_like_root dir then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent (depth + 1)
+  in
+  up start 0
+
+(* Walk one top-level subtree ([lib], [bin] or [bench]), returning
+   root-relative paths of the .ml files, skipping dot- and
+   underscore-prefixed entries (_build, .git, editor droppings). *)
+let list_ml_files root sub =
+  let rec go acc rel =
+    let abs = Filename.concat root rel in
+    if not (Sys.file_exists abs && Sys.is_directory abs) then acc
+    else begin
+      let entries = Sys.readdir abs in
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          if String.length entry = 0 || entry.[0] = '.' || entry.[0] = '_' then
+            acc
+          else
+            let rel' = rel ^ "/" ^ entry in
+            let abs' = Filename.concat root rel' in
+            if Sys.is_directory abs' then go acc rel'
+            else if Filename.check_suffix entry ".ml" then rel' :: acc
+            else acc)
+        acc entries
+    end
+  in
+  go [] sub
+
+let role_of_rel rel =
+  match String.split_on_char '/' rel with
+  | "lib" :: sub :: _ :: _ -> Some (Rules.Lib sub)
+  | "lib" :: _ -> Some (Rules.Lib "")
+  | "bin" :: _ -> Some Rules.Bin
+  | "bench" :: _ -> Some Rules.Bench
+  | _ -> None
+
+let read_file abs =
+  match In_channel.with_open_bin abs In_channel.input_all with
+  | s -> s
+  | exception Sys_error msg -> raise (Error msg)
+
+type summary = { root : string; files : int; findings : Finding.t list }
+
+let run ~root =
+  if not (Sys.file_exists root && Sys.is_directory root) then
+    raise (Error (Printf.sprintf "root %S is not a directory" root));
+  let files =
+    List.concat_map (list_ml_files root) [ "lib"; "bin"; "bench" ]
+    |> List.sort String.compare
+  in
+  let findings =
+    List.concat_map
+      (fun rel ->
+        match role_of_rel rel with
+        | None -> []
+        | Some role ->
+            let abs = Filename.concat root rel in
+            let mli_exists =
+              Sys.file_exists (Filename.chop_suffix abs ".ml" ^ ".mli")
+            in
+            Rules.check
+              { Rules.role; file = rel; source = read_file abs; mli_exists })
+      files
+  in
+  { root; files = List.length files; findings = List.sort Finding.compare findings }
+
+(* --- rendering --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"talint/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"root\": \"%s\",\n" (json_escape t.root));
+  Buffer.add_string buf (Printf.sprintf "  \"files_scanned\": %d,\n" t.files);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"count\": %d,\n" (List.length t.findings));
+  Buffer.add_string buf "  \"findings\": [";
+  List.iteri
+    (fun i (f : Finding.t) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \
+            \"col\": %d, \"message\": \"%s\"}"
+           (json_escape f.Finding.rule)
+           (json_escape f.Finding.file)
+           f.Finding.line f.Finding.col
+           (json_escape f.Finding.message)))
+    t.findings;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let pp_text ppf t =
+  List.iter
+    (fun f -> Format.fprintf ppf "%s@." (Finding.to_string f))
+    t.findings;
+  let n = List.length t.findings in
+  Format.fprintf ppf "talint: %d file%s scanned, %d finding%s@." t.files
+    (if t.files = 1 then "" else "s")
+    n
+    (if n = 1 then "" else "s")

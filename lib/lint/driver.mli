@@ -1,0 +1,31 @@
+(** Source-tree walker and report rendering for talint.
+
+    The driver walks [lib/], [bin/] and [bench/] under a project root,
+    runs {!Rules.check} on every [.ml] file, and renders the merged
+    report.  It never writes to any channel itself. *)
+
+exception Error of string
+(** Unusable root or unreadable file. *)
+
+val find_root : ?from:string -> unit -> string option
+(** Walk up from [from] (default: the current directory) to the first
+    directory containing both [dune-project] and a [lib/] directory. *)
+
+type summary = {
+  root : string;
+  files : int;              (** .ml files scanned *)
+  findings : Finding.t list;  (** sorted by file, line, col, rule *)
+}
+
+val run : root:string -> summary
+(** Lint the whole tree under [root].  @raise Error on an unusable root
+    or unreadable file. *)
+
+val to_json : summary -> string
+(** The [talint/1] report: [{"schema": "talint/1", "root",
+    "files_scanned", "count", "findings": [{rule, file, line, col,
+    message}]}]. *)
+
+val pp_text : Format.formatter -> summary -> unit
+(** One ["file:line:col: [RULE] message"] line per finding plus a
+    summary line. *)

@@ -1,0 +1,17 @@
+(** A single lint report: rule id, span-accurate position, message. *)
+
+type t = {
+  rule : string;  (** "D001", "R001", ... *)
+  file : string;  (** path relative to the linted root *)
+  line : int;     (** 1-based *)
+  col : int;      (** 0-based, as compilers print them *)
+  message : string;
+}
+
+val v : rule:string -> file:string -> line:int -> col:int -> string -> t
+
+val compare : t -> t -> int
+(** Orders by file, line, col, rule, message — the report order. *)
+
+val to_string : t -> string
+(** ["file:line:col: [RULE] message"], clickable in editors and CI logs. *)

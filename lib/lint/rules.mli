@@ -1,0 +1,35 @@
+(** The talint rule pass: one parsed walk over a single [.ml] file.
+
+    Rules (suppressible with [(* talint: allow RULE — reason *)]):
+    - [D001] no [Stdlib.Random] in [lib/] (except [lib/prng]);
+      [Random.self_init] banned everywhere.
+    - [D002] no wall-clock reads ([Unix.gettimeofday], [Unix.time],
+      [Sys.time]) outside [lib/obs] and [bench/].
+    - [D003] no stdout printing from [lib/].
+    - [R001] no module-level mutable state in [lib/] outside [lib/obs]
+      (races under [Exec.Pool] domain fan-outs).
+    - [S001] every [lib/] module has an [.mli].
+    - [S002] no [failwith] in [lib/]; declared exceptions only.
+    - [E000] internal: the file failed to parse. *)
+
+type role =
+  | Lib of string  (** subdirectory under [lib/], e.g. [Lib "desim"] *)
+  | Bin
+  | Bench
+
+val role_to_string : role -> string
+
+type input = {
+  role : role;
+  file : string;      (** path used in reports *)
+  source : string;    (** file contents *)
+  mli_exists : bool;  (** does [file]'s sibling [.mli] exist? (S001) *)
+}
+
+type rule_info = { id : string; summary : string }
+
+val all_rules : rule_info list
+(** Rule ids with one-line summaries, for [--help]-style listings. *)
+
+val check : input -> Finding.t list
+(** All unsuppressed findings for one file, sorted by position. *)

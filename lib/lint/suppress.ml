@@ -1,0 +1,70 @@
+(* Suppression directives are plain comments so they survive formatting:
+
+     (* talint: allow R001 — mutex-protected cross-domain cache *)
+
+   One directive may list several rule ids.  A directive suppresses
+   findings of the listed rules on its own line and on the line directly
+   below it (the "comment above the offender" idiom).  File-scope rules
+   (S001) honour a directive anywhere in the file. *)
+
+type t = {
+  per_line : (int * string, unit) Hashtbl.t;
+  anywhere : (string, unit) Hashtbl.t;
+}
+
+let is_rule_id s =
+  String.length s = 4
+  && s.[0] >= 'A'
+  && s.[0] <= 'Z'
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 1 3)
+
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let marker = "talint:"
+
+let scan source =
+  let per_line = Hashtbl.create 16 in
+  let anywhere = Hashtbl.create 8 in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match find_sub line marker with
+      | None -> ()
+      | Some j ->
+          let after = j + String.length marker in
+          let rest =
+            String.trim (String.sub line after (String.length line - after))
+          in
+          if String.starts_with ~prefix:"allow" rest then begin
+            let rest = String.sub rest 5 (String.length rest - 5) in
+            let tokens =
+              String.map (fun c -> if c = ',' || c = '\t' then ' ' else c) rest
+              |> String.split_on_char ' '
+            in
+            (* Rule ids come first; anything else ends the list and starts
+               the free-form justification. *)
+            let rec take = function
+              | "" :: tl -> take tl
+              | tok :: tl when is_rule_id tok ->
+                  Hashtbl.replace per_line (lineno, tok) ();
+                  Hashtbl.replace anywhere tok ();
+                  take tl
+              | _ -> ()
+            in
+            take tokens
+          end)
+    (String.split_on_char '\n' source);
+  { per_line; anywhere }
+
+let allows t ~line ~rule =
+  Hashtbl.mem t.per_line (line, rule)
+  || (line > 1 && Hashtbl.mem t.per_line (line - 1, rule))
+
+let allows_anywhere t ~rule = Hashtbl.mem t.anywhere rule

@@ -1,0 +1,20 @@
+(** [(* talint: allow RULE... — reason *)] suppression comments.
+
+    A directive lists one or more rule ids and suppresses matching
+    findings on its own line or the line directly below it.  File-scope
+    rules (S001) accept a directive anywhere in the file. *)
+
+type t
+
+val scan : string -> t
+(** Collect every directive in a source file (given as a string). *)
+
+val allows : t -> line:int -> rule:string -> bool
+(** Is a finding of [rule] at [line] suppressed (directive on the same
+    or the preceding line)? *)
+
+val allows_anywhere : t -> rule:string -> bool
+(** Is [rule] suppressed anywhere in the file (for file-scope rules)? *)
+
+val is_rule_id : string -> bool
+(** ["D001"]-shaped: one capital letter then three digits. *)

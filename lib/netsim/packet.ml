@@ -2,12 +2,15 @@ type kind = Payload | Dummy | Cross
 
 type t = { id : int; kind : kind; size_bytes : int; created : float }
 
-let counter = ref 0
+(* Ids must be race-free when simulations run on Exec.Pool domains;
+   Atomic is the sanctioned shared cell.  Ids are process-unique, never
+   published in tables or traces, so the allocation order across domains
+   cannot leak into any output. *)
+let counter = Atomic.make 0
 
 let make ~kind ~size_bytes ~created =
   if size_bytes <= 0 then invalid_arg "Packet.make: size_bytes <= 0";
-  incr counter;
-  { id = !counter; kind; size_bytes; created }
+  { id = Atomic.fetch_and_add counter 1 + 1; kind; size_bytes; created }
 
 let kind_to_string = function
   | Payload -> "payload"

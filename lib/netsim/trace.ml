@@ -1,5 +1,7 @@
 type meta = { label : string; created_unix : float }
 
+exception Parse_error of { path : string; line : int; msg : string }
+
 let save ~path ~meta timestamps =
   let oc = open_out path in
   Fun.protect
@@ -41,14 +43,19 @@ let load ~path =
              | Some v -> (
                  match float_of_string_opt v with
                  | Some f -> created := f
-                 | None -> failwith (Printf.sprintf "Trace.load: bad header at line %d" !lineno))
+                 | None ->
+                     raise
+                       (Parse_error
+                          { path; line = !lineno; msg = "bad header (created_unix is not a float)" }))
              | None -> ()
            end
            else
              match float_of_string_opt line with
              | Some v -> values := v :: !values
              | None ->
-                 failwith (Printf.sprintf "Trace.load: bad value at line %d" !lineno)
+                 raise
+                   (Parse_error
+                      { path; line = !lineno; msg = "bad value (expected a float timestamp)" })
          done
        with End_of_file -> ());
       ( { label = !label; created_unix = !created },

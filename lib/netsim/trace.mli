@@ -16,8 +16,11 @@ val save : path:string -> meta:meta -> float array -> unit
 (** Write timestamps (seconds, full precision) with a metadata header.
     Overwrites an existing file. *)
 
+exception Parse_error of { path : string; line : int; msg : string }
+(** Malformed capture content; carries the offending line number. *)
+
 val load : path:string -> meta * float array
-(** Parse a file produced by {!save}.  Raises [Failure] on malformed
+(** Parse a file produced by {!save}.  Raises {!Parse_error} on malformed
     content (with the offending line number), [Sys_error] on I/O. *)
 
 val piats : float array -> float array

@@ -1,0 +1,10 @@
+(** Umbrella for the observability layer: metrics registry, spans,
+    JSONL event traces, and the minimal JSON codec they share. *)
+
+module Metrics = Metrics
+module Span = Span
+module Trace = Trace
+module Json = Json
+
+val span : string -> (unit -> 'a) -> 'a
+(** Alias of {!Span.run}: time [f] under a named span. *)

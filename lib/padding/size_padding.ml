@@ -1,4 +1,6 @@
-let total_padding = ref 0
+(* A cross-run accumulator read only between runs; Atomic keeps the
+   count exact when simulations run on Exec.Pool domains. *)
+let total_padding = Atomic.make 0
 
 let pad_port ~target ~dest =
   if target <= 0 then invalid_arg "Size_padding.pad_port: target <= 0";
@@ -8,11 +10,11 @@ let pad_port ~target ~dest =
       invalid_arg "Size_padding: packet exceeds the padding target";
     if size = target then dest pkt
     else begin
-      total_padding := !total_padding + (target - size);
+      ignore (Atomic.fetch_and_add total_padding (target - size) : int);
       dest
         (Netsim.Packet.make ~kind:pkt.Netsim.Packet.kind ~size_bytes:target
            ~created:pkt.Netsim.Packet.created)
     end
 
-let padded_bytes () = !total_padding
-let reset_padded_bytes () = total_padding := 0
+let padded_bytes () = Atomic.get total_padding
+let reset_padded_bytes () = Atomic.set total_padding 0

@@ -3,11 +3,14 @@ type key = System.config * int
 (* [System.config] is pure (immutable) data — variants, floats, ints and
    arrays thereof, no closures — so polymorphic equality/hashing are both
    safe and exactly the sharing relation we want. *)
-let table : (key, System.result) Hashtbl.t = Hashtbl.create 64
-let order : key Queue.t = Queue.create ()
-let capacity = ref 32
-let hits = ref 0
-let misses = ref 0
+(* The cache is deliberately shared across Exec.Pool domains — that is
+   its whole point (a worker must hit on a config another worker already
+   simulated).  Every access below goes through [mutex]. *)
+let table : (key, System.result) Hashtbl.t = Hashtbl.create 64 (* talint: allow R001 — mutex-guarded shared memo table *)
+let order : key Queue.t = Queue.create () (* talint: allow R001 — mutex-guarded FIFO eviction order *)
+let capacity = ref 32 (* talint: allow R001 — mutex-guarded knob *)
+let hits = ref 0 (* talint: allow R001 — mutex-guarded tally *)
+let misses = ref 0 (* talint: allow R001 — mutex-guarded tally *)
 let mutex = Mutex.create ()
 
 let set_capacity n =

@@ -43,6 +43,7 @@ let erf x = 1.0 -. erfc x
 let lanczos_g = 7.0
 
 let lanczos_coef =
+  (* talint: allow R001 — read-only coefficient table, never written *)
   [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
      771.32342877765313; -176.61502916214059; 12.507343278686905;
      -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]

@@ -1,0 +1,3 @@
+(* D001 positive: ambient randomness in a library. *)
+let roll () = Random.int 6
+let reseed () = Random.self_init ()

@@ -1,0 +1,2 @@
+(* D001 negative: randomness flows through lib/prng with an explicit seed. *)
+let roll rng = Prng.Rng.int rng 6

@@ -1,0 +1,2 @@
+(* D002 positive: wall-clock read inside simulation logic. *)
+let stamp () = Unix.gettimeofday ()

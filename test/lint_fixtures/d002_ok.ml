@@ -1,0 +1,2 @@
+(* D002 negative: time comes from the simulator clock. *)
+let stamp sim = Desim.Sim.now sim

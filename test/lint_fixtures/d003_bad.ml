@@ -1,0 +1,2 @@
+(* D003 positive: a library writing to stdout. *)
+let report n = Printf.printf "count=%d\n" n

@@ -1,0 +1,2 @@
+(* D003 negative: the caller chooses the sink via a formatter. *)
+let report ppf n = Format.fprintf ppf "count=%d@." n

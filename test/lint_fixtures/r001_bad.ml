@@ -1,0 +1,2 @@
+(* R001 positive: module-level mutable state, racy under Exec.Pool. *)
+let cache = Hashtbl.create 16

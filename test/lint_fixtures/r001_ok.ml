@@ -1,0 +1,3 @@
+(* R001 negative: allocation happens inside the run, per call. *)
+let make_cache () = Hashtbl.create 16
+let m_runs = Obs.Metrics.counter "fixture.runs"

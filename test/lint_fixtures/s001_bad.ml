@@ -1,0 +1,2 @@
+(* S001 positive: a library module with no .mli sibling. *)
+let answer = 42

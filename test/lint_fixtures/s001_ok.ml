@@ -1,0 +1,2 @@
+(* S001 negative: the interface lives in s001_ok.mli next door. *)
+let answer = 42

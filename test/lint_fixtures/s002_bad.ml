@@ -1,0 +1,2 @@
+(* S002 positive: an undeclared failure mode. *)
+let drain () = failwith "tap starved"

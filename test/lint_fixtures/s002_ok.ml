@@ -1,0 +1,5 @@
+(* S002 negative: a declared exception callers can match. *)
+exception Tap_starved of { target : int; observed : int }
+
+let drain ~target ~observed =
+  if observed < target then raise (Tap_starved { target; observed })

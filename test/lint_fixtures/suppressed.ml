@@ -1,0 +1,5 @@
+(* Suppression fixture: same violation as r001_bad.ml, but justified. *)
+(* talint: allow R001 — fixture: mutex-guarded shared cache *)
+let cache = Hashtbl.create 16
+
+let tally = ref 0 (* talint: allow R001, S002 — fixture: same-line directive *)

@@ -232,7 +232,8 @@ let test_run_all_budget () =
   let sim = Desim.Sim.create () in
   let rec loop () = ignore (Desim.Sim.after sim ~delay:1.0 loop) in
   loop ();
-  Alcotest.check_raises "budget" (Failure "Sim.run_all: event budget exceeded")
+  Alcotest.check_raises "budget"
+    (Desim.Sim.Event_budget_exceeded { max_events = 100 })
     (fun () -> Desim.Sim.run_all ~max_events:100 sim)
 
 let test_pending_count () =

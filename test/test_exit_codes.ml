@@ -1,0 +1,95 @@
+(* Exit-code contract, end to end:
+
+     0   success
+     2   invalid CLI (both the Cmdliner-based ta_lab and the Arg-based
+         bench/talint)
+     3   Tap_starved — a diagnosed starvation report, never a backtrace
+
+   Locked down here because ta_lab once exited with Cmdliner's default
+   124 on bad flags while bench exited 2, and bench let Tap_starved
+   escape as an uncaught exception (which the OCaml runtime reports with
+   exit code 2 — colliding with the invalid-CLI code). *)
+
+let find_exe candidates = List.find_opt Sys.file_exists candidates
+
+let ta_lab () = find_exe [ "../bin/ta_lab.exe"; "_build/default/bin/ta_lab.exe" ]
+
+let bench () =
+  find_exe [ "../bench/main.exe"; "_build/default/bench/main.exe" ]
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* Run [exe args], returning (exit code, combined output). *)
+let run exe args =
+  let out = Filename.temp_file "exit_code" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out)
+    (fun () ->
+      let code =
+        Sys.command
+          (Printf.sprintf "%s %s >%s 2>&1" (Filename.quote exe) args
+             (Filename.quote out))
+      in
+      (code, read_file out))
+
+let check_code exe args expected =
+  let code, output = run exe args in
+  Alcotest.(check int)
+    (Printf.sprintf "'%s' exits %d" args expected)
+    expected code;
+  output
+
+let test_ta_lab_invalid_cli () =
+  match ta_lab () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      ignore (check_code exe "no-such-subcommand" 2 : string);
+      ignore (check_code exe "fig4b --no-such-flag" 2 : string);
+      ignore (check_code exe "fig4b --scale 0" 2 : string);
+      ignore (check_code exe "fig4b --scale nan" 2 : string);
+      ignore (check_code exe "fig4b --seed -3" 2 : string);
+      ignore (check_code exe "faults --intensities 1.5" 2 : string);
+      ignore (check_code exe "fig4b --jobs 0" 2 : string)
+
+let test_bench_invalid_cli () =
+  match bench () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      ignore (check_code exe "--only fig4x" 2 : string);
+      ignore (check_code exe "--scale -1 --no-micro" 2 : string);
+      ignore (check_code exe "--seed -1 --no-micro" 2 : string);
+      ignore (check_code exe "--intensities 1.5 --no-micro" 2 : string);
+      ignore (check_code exe "--check-trace --no-micro" 2 : string);
+      ignore (check_code exe "--no-such-flag" 2 : string)
+
+let test_bench_starved_exit_3 () =
+  match bench () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      let output =
+        check_code exe "--only faults --scale 0.05 --intensities 1 --no-micro"
+          3
+      in
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i =
+          i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        "report names the starvation" true
+        (contains output "tap starved");
+      Alcotest.(check bool)
+        "no raw backtrace" false
+        (contains output "Raised at" || contains output "Fatal error")
+
+let suite =
+  [
+    Alcotest.test_case "ta_lab: invalid CLI exits 2" `Quick
+      test_ta_lab_invalid_cli;
+    Alcotest.test_case "bench: invalid CLI exits 2" `Quick
+      test_bench_invalid_cli;
+    Alcotest.test_case "bench: Tap_starved exits 3 with a report" `Quick
+      test_bench_starved_exit_3;
+  ]

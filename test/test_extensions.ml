@@ -393,11 +393,10 @@ let test_trace_malformed () =
       output_string oc "0.5\nnot-a-number\n";
       close_out oc;
       match Netsim.Trace.load ~path with
-      | exception Failure msg ->
-          Alcotest.(check bool) "line number reported" true
-            (String.length msg > 0 &&
-             String.split_on_char ' ' msg |> List.exists (fun w -> w = "2"))
-      | _ -> Alcotest.fail "expected Failure")
+      | exception Netsim.Trace.Parse_error { line; msg; _ } ->
+          Alcotest.(check int) "line number reported" 2 line;
+          Alcotest.(check bool) "message present" true (String.length msg > 0)
+      | _ -> Alcotest.fail "expected Parse_error")
 
 let suite =
   [

@@ -1,0 +1,249 @@
+(* Golden suite for the talint static-analysis pass: one positive and one
+   negative fixture per rule under lint_fixtures/, suppression-comment
+   behaviour, role exemptions, the talint/1 JSON schema, and a run over
+   the real tree asserting the gate is green. *)
+
+let fixture_dir () =
+  (* cwd is _build/default/test under [dune runtest] but the project root
+     under [dune exec test/test_main.exe]; accept either. *)
+  List.find_opt Sys.file_exists [ "lint_fixtures"; "test/lint_fixtures" ]
+
+let read_fixture name =
+  match fixture_dir () with
+  | None -> Alcotest.fail "lint_fixtures directory not found"
+  | Some dir ->
+      In_channel.with_open_bin (Filename.concat dir name) In_channel.input_all
+
+let check_fixture ?(role = Lint.Rules.Lib "fixture") ?(mli_exists = true) name =
+  Lint.Rules.check
+    { Lint.Rules.role; file = name; source = read_fixture name; mli_exists }
+
+let check_source ?(role = Lint.Rules.Lib "fixture") ?(mli_exists = true) source =
+  Lint.Rules.check { Lint.Rules.role; file = "inline.ml"; source; mli_exists }
+
+let rules fs = List.map (fun f -> f.Lint.Finding.rule) fs
+
+let pos f =
+  (f.Lint.Finding.rule, f.Lint.Finding.line, f.Lint.Finding.col)
+
+let rules_t = Alcotest.(list string)
+
+(* --- positive fixtures: rule id AND location must be exact --- *)
+
+let test_positive_fixtures () =
+  Alcotest.(check (list (triple string int int)))
+    "d001_bad: both Random uses, exact spans"
+    [ ("D001", 2, 14); ("D001", 3, 16) ]
+    (List.map pos (check_fixture "d001_bad.ml"));
+  Alcotest.(check (list (triple string int int)))
+    "d002_bad: wall-clock read" [ ("D002", 2, 15) ]
+    (List.map pos (check_fixture "d002_bad.ml"));
+  Alcotest.(check (list (triple string int int)))
+    "d003_bad: stdout print" [ ("D003", 2, 15) ]
+    (List.map pos (check_fixture "d003_bad.ml"));
+  Alcotest.(check (list (triple string int int)))
+    "r001_bad: toplevel mutable" [ ("R001", 2, 12) ]
+    (List.map pos (check_fixture "r001_bad.ml"));
+  Alcotest.check rules_t "s001_bad: missing .mli" [ "S001" ]
+    (rules (check_fixture ~mli_exists:false "s001_bad.ml"));
+  Alcotest.(check (list (triple string int int)))
+    "s002_bad: failwith" [ ("S002", 2, 15) ]
+    (List.map pos (check_fixture "s002_bad.ml"))
+
+let test_negative_fixtures () =
+  List.iter
+    (fun name ->
+      Alcotest.check rules_t (name ^ " is clean") []
+        (rules (check_fixture name)))
+    [ "d001_ok.ml"; "d002_ok.ml"; "d003_ok.ml"; "r001_ok.ml"; "s001_ok.ml";
+      "s002_ok.ml" ]
+
+(* --- suppression comments --- *)
+
+let test_suppression () =
+  Alcotest.check rules_t "directives silence both violations" []
+    (rules (check_fixture "suppressed.ml"));
+  (* The directive is load-bearing: strip the word "allow" and the same
+     source reports both toplevel refs. *)
+  let stripped =
+    Str.global_replace (Str.regexp_string "talint: allow") "x"
+      (read_fixture "suppressed.ml")
+  in
+  Alcotest.check rules_t "stripped directives expose the findings"
+    [ "R001"; "R001" ]
+    (rules (check_source stripped));
+  (* S001 is file-scope: a directive anywhere in the file counts. *)
+  Alcotest.check rules_t "S001 suppressed from the file body" []
+    (rules
+       (check_source ~mli_exists:false
+          "let x = 1\n\n(* talint: allow S001 — generated module *)\nlet y = 2\n"));
+  (* A directive two lines above the offender does NOT reach it. *)
+  Alcotest.check rules_t "directive out of range" [ "R001" ]
+    (rules
+       (check_source
+          "(* talint: allow R001 — too far away *)\n\nlet cache = Hashtbl.create 4\n"))
+
+(* --- role exemptions --- *)
+
+let test_role_exemptions () =
+  let clock = "let t0 = Unix.gettimeofday ()\n" in
+  Alcotest.check rules_t "bench may read the wall clock" []
+    (rules (check_source ~role:Lint.Rules.Bench clock));
+  Alcotest.check rules_t "lib/obs may read the wall clock" []
+    (rules (check_source ~role:(Lint.Rules.Lib "obs") clock));
+  Alcotest.check rules_t "other lib dirs may not" [ "D002" ]
+    (rules (check_source ~role:(Lint.Rules.Lib "desim") clock));
+  Alcotest.check rules_t "bin owns stdout and failwith" []
+    (rules
+       (check_source ~role:Lint.Rules.Bin
+          "let () = print_endline \"hi\"\nlet f () = failwith \"cli\"\n"));
+  Alcotest.check rules_t "lib/prng may wrap Random" []
+    (rules (check_source ~role:(Lint.Rules.Lib "prng") "let r = Random.bits\n"));
+  Alcotest.check rules_t "but self_init is banned even there" [ "D001" ]
+    (rules
+       (check_source ~role:(Lint.Rules.Lib "prng")
+          "let f () = Random.self_init ()\n"));
+  Alcotest.check rules_t "lib/obs owns its registries" []
+    (rules
+       (check_source ~role:(Lint.Rules.Lib "obs")
+          "let registry = Hashtbl.create 8\n"))
+
+let test_parse_error () =
+  Alcotest.check rules_t "unparseable file reports E000" [ "E000" ]
+    (rules (check_source "let = ) ="))
+
+(* --- the talint/1 JSON report --- *)
+
+let test_json_schema () =
+  let summary =
+    {
+      Lint.Driver.root = "/tmp/x";
+      files = 2;
+      findings =
+        [
+          Lint.Finding.v ~rule:"D003" ~file:"lib/a/b.ml" ~line:3 ~col:7
+            "printing \"with quotes\"\nand a newline";
+        ];
+    }
+  in
+  match Obs.Json.of_string (Lint.Driver.to_json summary) with
+  | Error msg -> Alcotest.fail ("talint/1 report is not valid JSON: " ^ msg)
+  | Ok json ->
+      let member k = Obs.Json.member k json in
+      Alcotest.(check bool)
+        "schema is talint/1" true
+        (member "schema" = Some (Obs.Json.Str "talint/1"));
+      Alcotest.(check bool)
+        "files_scanned" true
+        (member "files_scanned" = Some (Obs.Json.Num 2.0));
+      Alcotest.(check bool)
+        "count" true
+        (member "count" = Some (Obs.Json.Num 1.0));
+      (match member "findings" with
+      | Some (Obs.Json.Arr [ f ]) ->
+          Alcotest.(check bool)
+            "rule" true
+            (Obs.Json.member "rule" f = Some (Obs.Json.Str "D003"));
+          Alcotest.(check bool)
+            "file" true
+            (Obs.Json.member "file" f = Some (Obs.Json.Str "lib/a/b.ml"));
+          Alcotest.(check bool)
+            "line" true
+            (Obs.Json.member "line" f = Some (Obs.Json.Num 3.0));
+          Alcotest.(check bool)
+            "col" true
+            (Obs.Json.member "col" f = Some (Obs.Json.Num 7.0));
+          Alcotest.(check bool)
+            "message survives escaping" true
+            (match Obs.Json.member "message" f with
+            | Some (Obs.Json.Str s) ->
+                String.length s > 0
+                && String.contains s '"' && String.contains s '\n'
+            | _ -> false)
+      | _ -> Alcotest.fail "findings is not a one-element array")
+
+(* --- the real tree must be clean --- *)
+
+let test_real_tree_clean () =
+  match Lint.Driver.find_root () with
+  | None -> Alcotest.fail "cannot locate the project root from the test cwd"
+  | Some root ->
+      let report = Lint.Driver.run ~root in
+      Alcotest.(check bool)
+        "scanned a real tree (>= 80 files)" true
+        (report.Lint.Driver.files >= 80);
+      Alcotest.(check (list string))
+        "zero findings on the shipped tree" []
+        (List.map Lint.Finding.to_string report.Lint.Driver.findings)
+
+(* --- CLI end-to-end: exit codes and JSON on a violating tree --- *)
+
+let talint_exe () =
+  List.find_opt Sys.file_exists
+    [ "../bin/talint.exe"; "_build/default/bin/talint.exe" ]
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_cli_roundtrip () =
+  match talint_exe () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      let dir = Filename.temp_file "talint_tree" "" in
+      Sys.remove dir;
+      ignore
+        (Sys.command (Printf.sprintf "mkdir -p %s/lib/demo" (Filename.quote dir))
+          : int);
+      Fun.protect
+        ~finally:(fun () ->
+          ignore
+            (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)) : int))
+        (fun () ->
+          Out_channel.with_open_bin (dir ^ "/dune-project") (fun oc ->
+              output_string oc "(lang dune 3.0)\n");
+          Out_channel.with_open_bin (dir ^ "/lib/demo/bad.ml") (fun oc ->
+              output_string oc "let roll () = Random.int 6\n");
+          let out = Filename.temp_file "talint_out" ".json" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove out)
+            (fun () ->
+              let code =
+                Sys.command
+                  (Printf.sprintf "%s --root %s --format json >%s 2>&1"
+                     (Filename.quote exe) (Filename.quote dir)
+                     (Filename.quote out))
+              in
+              Alcotest.(check int) "findings exit 1" 1 code;
+              let json = read_file out in
+              (match Obs.Json.of_string json with
+              | Error msg -> Alcotest.fail ("not JSON: " ^ msg)
+              | Ok j ->
+                  Alcotest.(check bool)
+                    "schema" true
+                    (Obs.Json.member "schema" j = Some (Obs.Json.Str "talint/1"));
+                  Alcotest.(check bool)
+                    "two findings (D001 + S001)" true
+                    (Obs.Json.member "count" j = Some (Obs.Json.Num 2.0)));
+              let code2 =
+                Sys.command
+                  (Printf.sprintf "%s --format yaml >/dev/null 2>&1"
+                     (Filename.quote exe))
+              in
+              Alcotest.(check int) "bad --format exits 2" 2 code2))
+
+let suite =
+  [
+    Alcotest.test_case "positive fixtures: exact rule + span" `Quick
+      test_positive_fixtures;
+    Alcotest.test_case "negative fixtures are clean" `Quick
+      test_negative_fixtures;
+    Alcotest.test_case "allow-comments suppress and expire" `Quick
+      test_suppression;
+    Alcotest.test_case "role exemptions (obs/prng/bin/bench)" `Quick
+      test_role_exemptions;
+    Alcotest.test_case "parse error reports E000" `Quick test_parse_error;
+    Alcotest.test_case "talint/1 JSON schema" `Quick test_json_schema;
+    Alcotest.test_case "real tree has zero findings" `Quick
+      test_real_tree_clean;
+    Alcotest.test_case "CLI: exit 1 + JSON on violations, 2 on bad flags"
+      `Quick test_cli_roundtrip;
+  ]

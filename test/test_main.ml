@@ -27,4 +27,6 @@ let () =
       ("obs.trace", Test_trace_schema.suite);
       ("integration", Test_integration.suite);
       ("stress", Test_stress.suite);
+      ("lint", Test_lint.suite);
+      ("exit-codes", Test_exit_codes.suite);
     ]
