@@ -165,6 +165,40 @@ let micro_tests () =
            while not (Desim.Event_queue.is_empty q) do
              ignore (Desim.Event_queue.pop q)
            done));
+    (* Steady-state variant: reused queue, allocation-free pop primitives —
+       the exact loop shape Sim.run_until uses. *)
+    (let q = Desim.Event_queue.create () in
+     Test.make ~name:"event_queue.reuse_pop_exn_1k"
+       (Staged.stage (fun () ->
+            Desim.Event_queue.clear q;
+            for i = 0 to 999 do
+              Desim.Event_queue.push q ~time:(float_of_int ((i * 7919) mod 1000)) ()
+            done;
+            while not (Desim.Event_queue.is_empty q) do
+              ignore (Desim.Event_queue.min_time q : float);
+              ignore (Desim.Event_queue.pop_exn q)
+            done)));
+    (* A periodic timer train on a recycled simulator: one Sim.every event
+       record re-armed 1000 times. *)
+    (let sim = Desim.Sim.create () in
+     Test.make ~name:"sim.timer_train_1k"
+       (Staged.stage (fun () ->
+            Desim.Sim.reset sim;
+            let n = ref 0 in
+            let h =
+              Desim.Sim.every sim ~interval:(fun () -> 0.001) (fun () -> incr n)
+            in
+            Desim.Sim.run_until sim ~time:1.0;
+            Desim.Sim.cancel h;
+            (* Accumulated fp drift can push the 1000th tick just past 1.0. *)
+            assert (abs (!n - 1000) <= 1))));
+    Test.make ~name:"system.run_tiny"
+      (Staged.stage (fun () ->
+           ignore
+             (Scenarios.System.run
+                { Scenarios.System.default_config with warmup_piats = 10 }
+                ~piats:50
+               : Scenarios.System.result)));
     Test.make ~name:"gateway.simulate_1s_padded"
       (Staged.stage (fun () ->
            let sim = Desim.Sim.create () in

@@ -1,0 +1,176 @@
+(* Compare two ta-bench/2 JSON reports and fail on performance regression.
+
+   Usage: tabench_diff [options] BASELINE.json CURRENT.json
+
+   Stages (end-to-end figure wall-clock) and micro-benchmarks (ns/run) are
+   matched by name; entries present in only one file are reported but never
+   fail the diff.  Exit codes: 0 = within tolerance, 1 = at least one
+   regression, 2 = usage or parse error. *)
+
+let usage =
+  "tabench_diff [--tolerance F] [--stage-tolerance F] [--format text|json] \
+   BASELINE.json CURRENT.json"
+
+let tolerance = ref 0.25
+let stage_tolerance = ref 0.50
+let format = ref "text"
+let files = ref []
+
+let args =
+  [
+    ( "--tolerance",
+      Arg.Set_float tolerance,
+      "FRAC allowed fractional slowdown per micro-benchmark (default 0.25)" );
+    ( "--stage-tolerance",
+      Arg.Set_float stage_tolerance,
+      "FRAC allowed fractional slowdown per stage wall-clock (default 0.50; \
+       stages are noisier than micros)" );
+    ( "--format",
+      Arg.Set_string format,
+      "FMT output format: text (default) or json" );
+  ]
+
+let die msg =
+  prerr_endline ("tabench_diff: " ^ msg);
+  exit 2
+
+let load path =
+  let contents =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error e -> die e
+  in
+  match Obs.Json.of_string contents with
+  | Error e -> die (Printf.sprintf "%s: %s" path e)
+  | Ok json ->
+      (match Obs.Json.member "schema" json with
+      | Some (Obs.Json.Str "ta-bench/2") -> ()
+      | Some (Obs.Json.Str s) ->
+          die (Printf.sprintf "%s: unsupported schema %S (want ta-bench/2)" path s)
+      | _ -> die (Printf.sprintf "%s: missing \"schema\" key" path));
+      json
+
+let num_member key json =
+  match Obs.Json.member key json with
+  | Some (Obs.Json.Num f) -> Some f
+  | _ -> None
+
+let str_member key json =
+  match Obs.Json.member key json with
+  | Some (Obs.Json.Str s) -> Some s
+  | _ -> None
+
+(* Pull a [(name, value)] list out of an array-of-objects member. *)
+let series ~list_key ~name_key ~value_key json =
+  match Obs.Json.member list_key json with
+  | Some (Obs.Json.Arr items) ->
+      List.filter_map
+        (fun item ->
+          match (str_member name_key item, num_member value_key item) with
+          | Some name, Some v -> Some (name, v)
+          | _ -> None)
+        items
+  | _ -> []
+
+type row = {
+  section : string;
+  name : string;
+  base : float;
+  cur : float;
+  ratio : float;
+  regressed : bool;
+}
+
+let compare_series ~section ~tol base cur =
+  List.filter_map
+    (fun (name, b) ->
+      match List.assoc_opt name cur with
+      | None -> None
+      | Some c ->
+          (* A zero baseline carries no signal (sub-resolution stage). *)
+          let ratio = if b > 0.0 then c /. b else 1.0 in
+          Some
+            { section; name; base = b; cur = c; ratio; regressed = ratio > 1.0 +. tol })
+    base
+
+let pct ratio = (ratio -. 1.0) *. 100.0
+
+let print_text ~meta_warnings rows =
+  List.iter (fun w -> Printf.printf "warning: %s\n" w) meta_warnings;
+  Printf.printf "%-7s %-34s %14s %14s %9s\n" "section" "name" "baseline" "current"
+    "delta";
+  List.iter
+    (fun r ->
+      Printf.printf "%-7s %-34s %14.1f %14.1f %+8.1f%%%s\n" r.section r.name
+        r.base r.cur (pct r.ratio)
+        (if r.regressed then "  REGRESSION" else ""))
+    rows;
+  let n_reg = List.length (List.filter (fun r -> r.regressed) rows) in
+  if n_reg = 0 then
+    Printf.printf "OK: %d comparisons within tolerance\n" (List.length rows)
+  else Printf.printf "FAIL: %d regression(s) in %d comparisons\n" n_reg (List.length rows)
+
+let print_json ~meta_warnings rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"tabench-diff/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"ok\": %b,\n"
+       (not (List.exists (fun r -> r.regressed) rows)));
+  Buffer.add_string buf "  \"warnings\": [";
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "\"%s\"" (Obs.Json.escape w)))
+    meta_warnings;
+  Buffer.add_string buf "],\n  \"comparisons\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"section\": \"%s\", \"name\": \"%s\", \"baseline\": %.6g, \
+            \"current\": %.6g, \"ratio\": %.6g, \"regressed\": %b}"
+           (Obs.Json.escape r.section) (Obs.Json.escape r.name) r.base r.cur
+           r.ratio r.regressed))
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  print_string (Buffer.contents buf)
+
+let () =
+  Arg.parse args (fun f -> files := f :: !files) usage;
+  if !format <> "text" && !format <> "json" then
+    die "--format must be text or json";
+  if not (Float.is_finite !tolerance) || !tolerance < 0.0 then
+    die "--tolerance must be non-negative";
+  if not (Float.is_finite !stage_tolerance) || !stage_tolerance < 0.0 then
+    die "--stage-tolerance must be non-negative";
+  let base_path, cur_path =
+    match List.rev !files with
+    | [ b; c ] -> (b, c)
+    | _ -> die ("expected exactly two files\nusage: " ^ usage)
+  in
+  let base = load base_path and cur = load cur_path in
+  (* Reports taken at different scales/seeds measure different work;
+     comparing them is usually a pinning mistake worth flagging. *)
+  let meta_warnings =
+    List.filter_map
+      (fun key ->
+        match (num_member key base, num_member key cur) with
+        | Some b, Some c when b <> c ->
+            Some (Printf.sprintf "%s differs: baseline %g vs current %g" key b c)
+        | _ -> None)
+      [ "scale"; "seed"; "jobs" ]
+  in
+  let stages j = series ~list_key:"stages" ~name_key:"id" ~value_key:"wall_s" j in
+  let micros j =
+    series ~list_key:"micro" ~name_key:"name" ~value_key:"ns_per_run" j
+  in
+  let rows =
+    compare_series ~section:"stage" ~tol:!stage_tolerance (stages base)
+      (stages cur)
+    @ compare_series ~section:"micro" ~tol:!tolerance (micros base) (micros cur)
+  in
+  if rows = [] then die "no common stages or micro-benchmarks to compare";
+  (match !format with
+  | "json" -> print_json ~meta_warnings rows
+  | _ -> print_text ~meta_warnings rows);
+  if List.exists (fun r -> r.regressed) rows then exit 1

@@ -7,8 +7,8 @@ let check negatives positives =
 let curve ~negatives ~positives =
   check negatives positives;
   let neg = Array.copy negatives and pos = Array.copy positives in
-  Array.sort compare neg;
-  Array.sort compare pos;
+  Array.sort Float.compare neg;
+  Array.sort Float.compare pos;
   let n_neg = float_of_int (Array.length neg) in
   let n_pos = float_of_int (Array.length pos) in
   (* P(score > t | class) via binary search over the sorted samples. *)
@@ -22,7 +22,7 @@ let curve ~negatives ~positives =
     float_of_int (n - !lo)
   in
   let thresholds =
-    Array.append neg pos |> Array.to_list |> List.sort_uniq compare
+    Array.append neg pos |> Array.to_list |> List.sort_uniq Float.compare
   in
   let interior =
     List.rev_map
@@ -45,7 +45,7 @@ let auc ~negatives ~positives =
   check negatives positives;
   (* Mann-Whitney U: count positive>negative pairs (+0.5 per tie). *)
   let neg = Array.copy negatives in
-  Array.sort compare neg;
+  Array.sort Float.compare neg;
   let n = Array.length neg in
   let count_below_and_ties x =
     (* (#neg < x, #neg = x) *)

@@ -19,6 +19,12 @@ let create ?(start_time = 0.0) () =
     queue_hwm = 0;
   }
 
+let reset ?(start_time = 0.0) t =
+  Event_queue.clear t.queue;
+  t.clock <- start_time;
+  t.events_processed <- 0;
+  t.queue_hwm <- 0
+
 let now t = t.clock
 let pending t = Event_queue.size t.queue
 let events_processed t = t.events_processed
@@ -33,13 +39,17 @@ let publish_metrics t =
   t.events_processed <- 0;
   t.queue_hwm <- 0
 
+(* Shared by every scheduler: one queue push plus the depth tally. *)
+let enqueue t ~time ev =
+  Event_queue.push t.queue ~time ev;
+  let depth = Event_queue.size t.queue in
+  if depth > t.queue_hwm then t.queue_hwm <- depth
+
 let at t ~time run =
   if Float.is_nan time then invalid_arg "Sim.at: NaN time";
   if time < t.clock then invalid_arg "Sim.at: time in the past";
   let ev = { cancelled = false; run } in
-  Event_queue.push t.queue ~time ev;
-  let depth = Event_queue.size t.queue in
-  if depth > t.queue_hwm then t.queue_hwm <- depth;
+  enqueue t ~time ev;
   ev
 
 let after t ~delay run =
@@ -49,45 +59,73 @@ let after t ~delay run =
 let cancel ev = ev.cancelled <- true
 let cancelled ev = ev.cancelled
 
+let rearm t h ~delay =
+  if Float.is_nan delay || delay < 0.0 then invalid_arg "Sim.rearm: negative delay";
+  enqueue t ~time:(t.clock +. delay) h
+
 let every t ?start ~interval f =
-  (* One master handle controls the whole periodic train; each tick
-     re-checks it so cancellation takes effect at the next occurrence. *)
-  let master = { cancelled = false; run = (fun () -> ()) } in
-  let rec tick () =
-    if not master.cancelled then begin
-      f ();
-      let dt = interval () in
-      if dt <= 0.0 then invalid_arg "Sim.every: non-positive interval";
-      ignore (at t ~time:(t.clock +. dt) tick : handle)
-    end
+  (* One event record serves the whole periodic train: each tick runs the
+     body and re-pushes the same record, so a steady-state period costs a
+     queue push and nothing else.  The record doubles as the handle; a
+     cancelled record is skipped when popped, which both suppresses the
+     tick and breaks the re-arm chain. *)
+  let rec ev =
+    {
+      cancelled = false;
+      run =
+        (fun () ->
+          f ();
+          let dt = interval () in
+          if Float.is_nan dt || dt <= 0.0 then
+            invalid_arg "Sim.every: non-positive interval";
+          enqueue t ~time:(t.clock +. dt) ev);
+    }
   in
   let first =
     match start with
     | Some s -> s
     | None ->
         let dt = interval () in
-        if dt <= 0.0 then invalid_arg "Sim.every: non-positive interval";
+        if Float.is_nan dt || dt <= 0.0 then
+          invalid_arg "Sim.every: non-positive interval";
         t.clock +. dt
   in
-  ignore (at t ~time:first tick : handle);
-  master
+  if Float.is_nan first then invalid_arg "Sim.at: NaN time";
+  if first < t.clock then invalid_arg "Sim.at: time in the past";
+  enqueue t ~time:first ev;
+  ev
 
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, ev) ->
-      t.clock <- time;
-      t.events_processed <- t.events_processed + 1;
-      if not ev.cancelled then ev.run ();
-      true
+  let q = t.queue in
+  if Event_queue.is_empty q then false
+  else begin
+    let time = Event_queue.min_time q in
+    let ev = Event_queue.pop_exn q in
+    t.clock <- time;
+    t.events_processed <- t.events_processed + 1;
+    if not ev.cancelled then ev.run ();
+    true
+  end
 
 let run_until t ~time =
   if Float.is_nan time then invalid_arg "Sim.run_until: NaN time";
+  let q = t.queue in
+  (* Open-coded [step] on the allocation-free queue primitives: per event
+     the loop performs one min_time read, one pop and the callback — no
+     options, no tuples. *)
   let continue = ref true in
   while !continue do
-    match Event_queue.peek_time t.queue with
-    | Some next when next <= time -> ignore (step t : bool)
-    | Some _ | None -> continue := false
+    if Event_queue.is_empty q then continue := false
+    else begin
+      let next = Event_queue.min_time q in
+      if next > time then continue := false
+      else begin
+        let ev = Event_queue.pop_exn q in
+        t.clock <- next;
+        t.events_processed <- t.events_processed + 1;
+        if not ev.cancelled then ev.run ()
+      end
+    end
   done;
   if time > t.clock then t.clock <- time
 

@@ -15,6 +15,16 @@ type handle
 (** Cancellation handle for a scheduled event. *)
 
 val create : ?start_time:float -> unit -> t
+
+val reset : ?start_time:float -> t -> unit
+(** Return the simulator to its just-created state while keeping the
+    event queue's allocated capacity: pending events are discarded, the
+    clock rewinds to [start_time] (default 0) and the local tallies are
+    zeroed.  A reset simulator behaves exactly like a fresh one — the
+    arena-reuse hook that lets sweep harnesses run thousands of
+    simulations without re-growing the queue each time.  Unpublished
+    tallies are dropped; call {!publish_metrics} first if they matter. *)
+
 val now : t -> float
 (** Current simulation time (seconds). *)
 
@@ -46,13 +56,25 @@ val cancel : handle -> unit
 
 val cancelled : handle -> bool
 
+val rearm : t -> handle -> delay:float -> unit
+(** Schedule one more occurrence of an existing handle's callback,
+    [delay] from now, without allocating a new handle — the
+    self-rescheduling idiom for hot periodic processes.  Each pending
+    occurrence runs once: re-arming a handle that is already pending
+    queues an additional run (the gateway uses this to drive a FIFO of
+    in-flight emissions off a single event record).  Cancelling the
+    handle suppresses all of its pending occurrences at once.  Raises
+    [Invalid_argument] on negative or NaN delay. *)
+
 val every :
   t -> ?start:float -> interval:(unit -> float) -> (unit -> unit) -> handle
 (** [every t ~interval f] runs [f] repeatedly; after each run the next
     occurrence is scheduled [interval ()] later (so random intervals are
     re-drawn each period — exactly a VIT timer).  Intervals must be
     positive.  The returned handle cancels the whole train.  [start]
-    defaults to now + interval (). *)
+    defaults to now + interval ().  The whole train reuses one event
+    record, so a steady-state period performs no allocation beyond the
+    interval function's own. *)
 
 val run_until : t -> time:float -> unit
 (** Execute all events with timestamp <= [time]; afterwards [now] = [time].

@@ -1,0 +1,25 @@
+(** Unboxed float FIFO ring buffer.
+
+    Replaces [float Queue.t] on per-packet paths: a [Queue] allocates a
+    cell plus a boxed float per push, while the ring's steady state
+    performs none — the backing [floatarray] only reallocates on
+    geometric growth and is kept across {!clear} for arena reuse. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> float -> unit
+(** Append at the back; grows the backing store when full. *)
+
+val peek : t -> float
+(** Front element.  Raises [Invalid_argument] when empty. *)
+
+val pop : t -> float
+(** Remove and return the front element.  Raises [Invalid_argument] when
+    empty. *)
+
+val clear : t -> unit
+(** Empty the ring, keeping its capacity. *)

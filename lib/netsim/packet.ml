@@ -12,6 +12,33 @@ let make ~kind ~size_bytes ~created =
   if size_bytes <= 0 then invalid_arg "Packet.make: size_bytes <= 0";
   { id = Atomic.fetch_and_add counter 1 + 1; kind; size_bytes; created }
 
+(* Per-source id generator: grabs [block]-sized ranges from the shared
+   counter so the per-packet cost is a local bump instead of a contended
+   fetch_and_add — under domain-pool fan-out every worker hammers the
+   packet path at once.  Ranges are disjoint, so ids stay process-unique;
+   within one generator they stay creation-ordered. *)
+module Id_gen = struct
+  type gen = { mutable next : int; mutable limit : int }
+
+  let block = 256
+
+  let create () = { next = 0; limit = 0 }
+
+  let next g =
+    if g.next >= g.limit then begin
+      let base = Atomic.fetch_and_add counter block in
+      g.next <- base;
+      g.limit <- base + block
+    end;
+    let id = g.next + 1 in
+    g.next <- id;
+    id
+end
+
+let make_gen g ~kind ~size_bytes ~created =
+  if size_bytes <= 0 then invalid_arg "Packet.make_gen: size_bytes <= 0";
+  { id = Id_gen.next g; kind; size_bytes; created }
+
 let kind_to_string = function
   | Payload -> "payload"
   | Dummy -> "dummy"

@@ -10,14 +10,28 @@
 type kind = Payload | Dummy | Cross
 
 type t = {
-  id : int;            (** globally unique, creation-ordered *)
+  id : int;            (** process-unique; creation-ordered per source *)
   kind : kind;
   size_bytes : int;
   created : float;     (** simulation time of creation *)
 }
 
 val make : kind:kind -> size_bytes:int -> created:float -> t
-(** Allocates a fresh id.  [size_bytes > 0]. *)
+(** Allocates a fresh id from the shared counter.  [size_bytes > 0]. *)
+
+module Id_gen : sig
+  type gen
+  (** A per-source id allocator: reserves disjoint blocks of ids from the
+      shared counter so hot paths pay one atomic operation per block
+      instead of per packet.  Not thread-safe — one generator per
+      source, sources live on one domain. *)
+
+  val create : unit -> gen
+end
+
+val make_gen : Id_gen.gen -> kind:kind -> size_bytes:int -> created:float -> t
+(** Like {!make} but draws the id from a per-source generator; the fast
+    path for traffic sources that emit millions of packets. *)
 
 val kind_to_string : kind -> string
 val is_padded : t -> bool

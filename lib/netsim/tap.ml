@@ -6,14 +6,19 @@ type t = {
   sizes : Fvec.t;
 }
 
-let create sim ?(accept = Packet.is_padded) ~dest () =
-  {
-    sim;
-    accept;
-    dest;
-    times = Fvec.create ~capacity:1024 ();
-    sizes = Fvec.create ~capacity:1024 ();
-  }
+(* [buffers] lets a sweep harness hand the tap already-grown Fvecs from a
+   previous run (cleared here), so repeated runs stop re-growing the
+   recording arrays from scratch. *)
+let create sim ?(accept = Packet.is_padded) ?buffers ~dest () =
+  let times, sizes =
+    match buffers with
+    | Some (times, sizes) ->
+        Fvec.clear times;
+        Fvec.clear sizes;
+        (times, sizes)
+    | None -> (Fvec.create ~capacity:1024 (), Fvec.create ~capacity:1024 ())
+  in
+  { sim; accept; dest; times; sizes }
 
 let m_observed = Obs.Metrics.counter "netsim.tap.observed"
 let m_payload = Obs.Metrics.counter "netsim.tap.payload"

@@ -11,8 +11,17 @@
 type t
 
 val create :
-  Desim.Sim.t -> ?accept:(Packet.t -> bool) -> dest:Link.port -> unit -> t
-(** [accept] defaults to {!Packet.is_padded}. *)
+  Desim.Sim.t ->
+  ?accept:(Packet.t -> bool) ->
+  ?buffers:Fvec.t * Fvec.t ->
+  dest:Link.port ->
+  unit ->
+  t
+(** [accept] defaults to {!Packet.is_padded}.  [buffers] optionally
+    supplies recycled [(times, sizes)] recording vectors (they are
+    cleared on create); sweep harnesses pass arena-owned Fvecs so
+    repeated runs reuse already-grown storage instead of re-allocating
+    and re-growing from scratch. *)
 
 val port : t -> Link.port
 val count : t -> int

@@ -34,10 +34,11 @@ let start_cross sim ~rng ~spec ~dest =
         ~mean_off ?pareto_shape ~size_bytes:spec.size_bytes ~kind:Packet.Cross
         ~dest ()
 
-let chain sim ~rng ~hops ~tap_position ?dest () =
+let chain sim ~rng ~hops ~tap_position ?tap_buffers ?dest () =
   let n = Array.length hops in
   if tap_position < 0 || tap_position > n then
     invalid_arg "Topology.chain: tap_position out of range";
+  let make_tap dest = Tap.create sim ?buffers:tap_buffers ~dest () in
   let received = ref 0 in
   let sink pkt =
     if Packet.is_padded pkt then incr received;
@@ -52,7 +53,7 @@ let chain sim ~rng ~hops ~tap_position ?dest () =
     (* Tap in front of hop i+1 (i.e. after hop i) is installed when we are
        at position i+1 in the walk; handle the "after last hop" spot first. *)
     if tap_position = i + 1 then begin
-      let t = Tap.create sim ~dest:!downstream () in
+      let t = make_tap !downstream in
       tap := Some t;
       downstream := Tap.port t
     end;
@@ -73,7 +74,7 @@ let chain sim ~rng ~hops ~tap_position ?dest () =
     downstream := Router.port router
   done;
   if tap_position = 0 then begin
-    let t = Tap.create sim ~dest:!downstream () in
+    let t = make_tap !downstream in
     tap := Some t;
     downstream := Tap.port t
   end;

@@ -36,6 +36,7 @@ val chain :
   rng:Prng.Rng.t ->
   hops:hop_spec array ->
   tap_position:int ->
+  ?tap_buffers:Fvec.t * Fvec.t ->
   ?dest:Link.port ->
   unit ->
   t
@@ -46,7 +47,8 @@ val chain :
     position.  Cross sources are driven by children split from [rng].
     Packets surviving the last hop go to [dest] (default: a counting-only
     sink); [sink_count] counts padded packets reaching the far end either
-    way. *)
+    way.  [tap_buffers] is handed to {!Tap.create} for recording-storage
+    reuse across runs. *)
 
 val stop_cross : t -> unit
 (** Stop all cross-traffic sources (used between experiment phases). *)

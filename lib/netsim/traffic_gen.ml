@@ -1,45 +1,56 @@
-type t = { mutable stopped : bool; mutable generated : int }
+type t = {
+  mutable stopped : bool;
+  mutable generated : int;
+  mutable handle : Desim.Sim.handle option;
+  gen : Packet.Id_gen.gen;
+}
 
-let stop t = t.stopped <- true
+let stop t =
+  t.stopped <- true;
+  match t.handle with
+  | Some h ->
+      Desim.Sim.cancel h;
+      t.handle <- None
+  | None -> ()
+
 let generated t = t.generated
 
 let emit sim t ~size_bytes ~kind ~dest =
   t.generated <- t.generated + 1;
-  dest (Packet.make ~kind ~size_bytes ~created:(Desim.Sim.now sim))
+  dest (Packet.make_gen t.gen ~kind ~size_bytes ~created:(Desim.Sim.now sim))
 
-let spawn sim t ~next_delay ~action =
-  (* Generic self-rescheduling source skeleton. *)
-  let rec tick () =
-    if not t.stopped then begin
-      action ();
-      ignore (Desim.Sim.after sim ~delay:(next_delay ()) tick : Desim.Sim.handle)
-    end
-  in
-  ignore (Desim.Sim.after sim ~delay:(next_delay ()) tick : Desim.Sim.handle)
+let source () =
+  { stopped = false; generated = 0; handle = None; gen = Packet.Id_gen.create () }
 
 let cbr sim ~rate_pps ~size_bytes ~kind ~dest () =
   if rate_pps <= 0.0 then invalid_arg "Traffic_gen.cbr: rate <= 0";
-  let t = { stopped = false; generated = 0 } in
+  let t = source () in
   let period = 1.0 /. rate_pps in
-  spawn sim t
-    ~next_delay:(fun () -> period)
-    ~action:(fun () -> emit sim t ~size_bytes ~kind ~dest);
+  t.handle <-
+    Some
+      (Desim.Sim.every sim
+         ~interval:(fun () -> period)
+         (fun () -> emit sim t ~size_bytes ~kind ~dest));
   t
 
 let poisson sim ~rng ~rate_pps ~size_bytes ~kind ~dest () =
   if rate_pps <= 0.0 then invalid_arg "Traffic_gen.poisson: rate <= 0";
-  let t = { stopped = false; generated = 0 } in
-  spawn sim t
-    ~next_delay:(fun () -> Prng.Sampler.exponential rng ~rate:rate_pps)
-    ~action:(fun () -> emit sim t ~size_bytes ~kind ~dest);
+  let t = source () in
+  t.handle <-
+    Some
+      (Desim.Sim.every sim
+         ~interval:(fun () -> Prng.Sampler.exponential rng ~rate:rate_pps)
+         (fun () -> emit sim t ~size_bytes ~kind ~dest));
   t
 
 let poisson_sized sim ~rng ~rate_pps ~size_of ~kind ~dest () =
   if rate_pps <= 0.0 then invalid_arg "Traffic_gen.poisson_sized: rate <= 0";
-  let t = { stopped = false; generated = 0 } in
-  spawn sim t
-    ~next_delay:(fun () -> Prng.Sampler.exponential rng ~rate:rate_pps)
-    ~action:(fun () -> emit sim t ~size_bytes:(size_of rng) ~kind ~dest);
+  let t = source () in
+  t.handle <-
+    Some
+      (Desim.Sim.every sim
+         ~interval:(fun () -> Prng.Sampler.exponential rng ~rate:rate_pps)
+         (fun () -> emit sim t ~size_bytes:(size_of rng) ~kind ~dest));
   t
 
 let on_off sim ~rng ~rate_on_pps ~mean_on ~mean_off ?pareto_shape ~size_bytes
@@ -56,7 +67,7 @@ let on_off sim ~rng ~rate_on_pps ~mean_on ~mean_off ?pareto_shape ~size_bytes
         let scale = mean *. (shape -. 1.0) /. shape in
         Prng.Sampler.pareto rng ~shape ~scale
   in
-  let t = { stopped = false; generated = 0 } in
+  let t = source () in
   (* Alternate phases; within ON, Poisson emission until the phase budget
      is exhausted. *)
   let rec start_on () =
@@ -92,24 +103,19 @@ let on_off sim ~rng ~rate_on_pps ~mean_on ~mean_off ?pareto_shape ~size_bytes
 
 let modulated_poisson sim ~rng ~rate_fn ~rate_max ~size_bytes ~kind ~dest () =
   if rate_max <= 0.0 then invalid_arg "Traffic_gen.modulated_poisson: rate_max <= 0";
-  let t = { stopped = false; generated = 0 } in
+  let t = source () in
   (* Lewis–Shedler thinning: candidate events at rate_max, accepted with
-     probability rate_fn(now)/rate_max. *)
-  let rec tick () =
-    if not t.stopped then begin
-      let rate = rate_fn (Desim.Sim.now sim) in
-      if rate < 0.0 || rate > rate_max then
-        invalid_arg "Traffic_gen.modulated_poisson: rate_fn out of [0, rate_max]";
-      if Prng.Rng.float rng < rate /. rate_max then
-        emit sim t ~size_bytes ~kind ~dest;
-      ignore
-        (Desim.Sim.after sim
-           ~delay:(Prng.Sampler.exponential rng ~rate:rate_max)
-           tick
-          : Desim.Sim.handle)
-    end
-  in
-  ignore
-    (Desim.Sim.after sim ~delay:(Prng.Sampler.exponential rng ~rate:rate_max) tick
-      : Desim.Sim.handle);
+     probability rate_fn(now)/rate_max.  One reusable event record drives
+     the candidate train; acceptance happens in the body. *)
+  t.handle <-
+    Some
+      (Desim.Sim.every sim
+         ~interval:(fun () -> Prng.Sampler.exponential rng ~rate:rate_max)
+         (fun () ->
+           let rate = rate_fn (Desim.Sim.now sim) in
+           if rate < 0.0 || rate > rate_max then
+             invalid_arg
+               "Traffic_gen.modulated_poisson: rate_fn out of [0, rate_max]";
+           if Prng.Rng.float rng < rate /. rate_max then
+             emit sim t ~size_bytes ~kind ~dest));
   t

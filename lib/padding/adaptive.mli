@@ -20,6 +20,7 @@ val create :
   ?target_queue:float ->
   jitter:Jitter.t ->
   ?packet_size:int ->
+  ?buffers:Gateway.Buffers.t ->
   dest:Netsim.Link.port ->
   unit ->
   t
@@ -27,7 +28,8 @@ val create :
     estimation horizon; [target_queue] (default 0.5) is the backlog the
     controller aims to keep, in packets.  The controller sets the period to
     min(max_period, max(min_period, 1/(estimated rate + margin))) after
-    each fire. *)
+    each fire.  [buffers] supplies recycled internal buffers, as for
+    {!Gateway.create}. *)
 
 val input : t -> Netsim.Link.port
 val stop : t -> unit

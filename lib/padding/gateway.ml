@@ -1,3 +1,25 @@
+(* Per-instance reusable state, exposed so sweep harnesses can hand the
+   same (already grown) buffers to gateway after gateway. *)
+module Buffers = struct
+  type t = {
+    queue : Netsim.Packet.t Netsim.Ring.t;
+    arrivals : Netsim.Fring.t;
+    pending : Netsim.Packet.t Netsim.Ring.t;
+  }
+
+  let create () =
+    {
+      queue = Netsim.Ring.create ();
+      arrivals = Netsim.Fring.create ();
+      pending = Netsim.Ring.create ();
+    }
+
+  let clear b =
+    Netsim.Ring.clear b.queue;
+    Netsim.Fring.clear b.arrivals;
+    Netsim.Ring.clear b.pending
+end
+
 type t = {
   sim : Desim.Sim.t;
   rng : Prng.Rng.t;
@@ -6,8 +28,17 @@ type t = {
   packet_size : int;
   queue_limit : int option;
   dest : Netsim.Link.port;
-  queue : Netsim.Packet.t Queue.t;
-  recent_arrivals : float Queue.t;
+  queue : Netsim.Packet.t Netsim.Ring.t;
+  recent_arrivals : Netsim.Fring.t;
+  (* Emitted packets waiting out their interrupt latency.  Emission times
+     are strictly monotone (enforced below), so one FIFO ring plus one
+     reusable event record replaces a fresh closure+event per packet. *)
+  pending : Netsim.Packet.t Netsim.Ring.t;
+  mutable emit_ev : Desim.Sim.handle option;
+  (* Dummies are indistinguishable on the wire and nothing downstream of
+     the sender may branch on their identity, so one cached packet serves
+     every dummy fire. *)
+  mutable dummy : Netsim.Packet.t option;
   mutable last_emit : float;
   mutable payload_sent : int;
   mutable dummy_sent : int;
@@ -22,22 +53,35 @@ let m_dummy_sent = Obs.Metrics.counter "padding.gateway.dummy_sent"
 let m_payload_dropped = Obs.Metrics.counter "padding.gateway.payload_dropped"
 let h_occupancy = Obs.Metrics.histogram "padding.gateway.queue_occupancy"
 
+let dummy_packet t now =
+  match t.dummy with
+  | Some p -> p
+  | None ->
+      let p =
+        Netsim.Packet.make ~kind:Netsim.Packet.Dummy ~size_bytes:t.packet_size
+          ~created:now
+      in
+      t.dummy <- Some p;
+      p
+
+let emit_run t () = t.dest (Netsim.Ring.pop t.pending)
+
 let on_fire t () =
   let now = Desim.Sim.now t.sim in
   t.fires <- t.fires + 1;
   Obs.Metrics.incr m_fires;
-  Obs.Metrics.observe h_occupancy (float_of_int (Queue.length t.queue));
+  Obs.Metrics.observe h_occupancy (float_of_int (Netsim.Ring.length t.queue));
   (* Count payload NIC interrupts landing in the blocking window before
      this fire; prune older entries (they can no longer block anything). *)
   let window_start = now -. Jitter.irq_window in
   while
-    (not (Queue.is_empty t.recent_arrivals))
-    && Queue.peek t.recent_arrivals < window_start
+    (not (Netsim.Fring.is_empty t.recent_arrivals))
+    && Netsim.Fring.peek t.recent_arrivals < window_start
   do
-    ignore (Queue.pop t.recent_arrivals : float)
+    ignore (Netsim.Fring.pop t.recent_arrivals : float)
   done;
-  let arrivals_in_window = Queue.length t.recent_arrivals in
-  let sends_payload = not (Queue.is_empty t.queue) in
+  let arrivals_in_window = Netsim.Fring.length t.recent_arrivals in
+  let sends_payload = not (Netsim.Ring.is_empty t.queue) in
   let ctx = { Jitter.fire_time = now; sends_payload; arrivals_in_window } in
   let latency = Jitter.latency t.jitter t.rng ctx in
   (* The interrupt routine runs after [latency]; emissions never reorder
@@ -50,33 +94,45 @@ let on_fire t () =
     if sends_payload then begin
       t.payload_sent <- t.payload_sent + 1;
       Obs.Metrics.incr m_payload_sent;
-      Queue.pop t.queue
+      Netsim.Ring.pop t.queue
     end
     else begin
       t.dummy_sent <- t.dummy_sent + 1;
       Obs.Metrics.incr m_dummy_sent;
-      Netsim.Packet.make ~kind:Netsim.Packet.Dummy ~size_bytes:t.packet_size
-        ~created:now
+      dummy_packet t now
     end
   in
   if Obs.Trace.enabled () then begin
     Obs.Trace.event ~name:"timer.fire" ~t:now
-      [ ("q", Obs.Trace.I (Queue.length t.queue)) ];
+      [ ("q", Obs.Trace.I (Netsim.Ring.length t.queue)) ];
     Obs.Trace.event ~name:"packet.sent" ~t:emit_time
       [
         ("kind", Obs.Trace.S (Netsim.Packet.kind_to_string pkt.Netsim.Packet.kind));
         ("size", Obs.Trace.I pkt.Netsim.Packet.size_bytes);
       ]
   end;
-  ignore (Desim.Sim.at t.sim ~time:emit_time (fun () -> t.dest pkt) : Desim.Sim.handle)
+  (* Strictly increasing emit times keep the multiply-armed event and the
+     pending ring in lockstep: pops happen in push order. *)
+  Netsim.Ring.push t.pending pkt;
+  match t.emit_ev with
+  | Some h -> Desim.Sim.rearm t.sim h ~delay:(emit_time -. now)
+  | None ->
+      t.emit_ev <- Some (Desim.Sim.at t.sim ~time:emit_time (emit_run t))
 
 let create sim ~rng ~timer ~jitter ?(packet_size = 500) ?queue_limit ?interval
-    ~dest () =
+    ?buffers ~dest () =
   Timer.validate timer;
   if packet_size <= 0 then invalid_arg "Gateway.create: packet_size <= 0";
   (match queue_limit with
   | Some l when l < 1 -> invalid_arg "Gateway.create: queue_limit < 1"
   | _ -> ());
+  let bufs =
+    match buffers with
+    | Some b ->
+        Buffers.clear b;
+        b
+    | None -> Buffers.create ()
+  in
   let t =
     {
       sim;
@@ -86,8 +142,11 @@ let create sim ~rng ~timer ~jitter ?(packet_size = 500) ?queue_limit ?interval
       packet_size;
       queue_limit;
       dest;
-      queue = Queue.create ();
-      recent_arrivals = Queue.create ();
+      queue = bufs.Buffers.queue;
+      recent_arrivals = bufs.Buffers.arrivals;
+      pending = bufs.Buffers.pending;
+      emit_ev = None;
+      dummy = None;
       last_emit = Desim.Sim.now sim;
       payload_sent = 0;
       dummy_sent = 0;
@@ -110,12 +169,12 @@ let input t pkt =
     invalid_arg "Gateway.input: only payload packets enter the sender gateway";
   let over =
     match t.queue_limit with
-    | Some l -> Queue.length t.queue >= l
+    | Some l -> Netsim.Ring.length t.queue >= l
     | None -> false
   in
   (* The NIC interrupt fires for every arriving packet, even one the queue
      then drops — record it before the capacity check. *)
-  Queue.push (Desim.Sim.now t.sim) t.recent_arrivals;
+  Netsim.Fring.push t.recent_arrivals (Desim.Sim.now t.sim);
   if over then begin
     t.payload_dropped <- t.payload_dropped + 1;
     Obs.Metrics.incr m_payload_dropped;
@@ -123,7 +182,7 @@ let input t pkt =
       Obs.Trace.event ~name:"packet.dropped" ~t:(Desim.Sim.now t.sim)
         [ ("cause", Obs.Trace.S "gw_queue"); ("kind", Obs.Trace.S "payload") ]
   end
-  else Queue.push pkt t.queue
+  else Netsim.Ring.push t.queue pkt
 
 let stop t =
   match t.timer_handle with
@@ -133,7 +192,7 @@ let stop t =
 let payload_sent t = t.payload_sent
 let dummy_sent t = t.dummy_sent
 let payload_dropped t = t.payload_dropped
-let queue_length t = Queue.length t.queue
+let queue_length t = Netsim.Ring.length t.queue
 let fires t = t.fires
 
 let overhead t =

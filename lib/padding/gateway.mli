@@ -10,6 +10,24 @@
 
 type t
 
+module Buffers : sig
+  type t = {
+    queue : Netsim.Packet.t Netsim.Ring.t;
+    arrivals : Netsim.Fring.t;
+    pending : Netsim.Packet.t Netsim.Ring.t;
+  }
+  (** The gateway's growable per-instance state (payload queue, arrival
+      window, pending-emission ring).  Sweep harnesses keep one [Buffers.t]
+      per worker and pass it to successive gateways so steady-state storage
+      is allocated once, not once per run.  {!Adaptive} reuses the same
+      triple. *)
+
+  val create : unit -> t
+
+  val clear : t -> unit
+  (** Empty all three buffers, keeping their capacity. *)
+end
+
 val create :
   Desim.Sim.t ->
   rng:Prng.Rng.t ->
@@ -18,6 +36,7 @@ val create :
   ?packet_size:int ->
   ?queue_limit:int ->
   ?interval:(unit -> float) ->
+  ?buffers:Buffers.t ->
   dest:Netsim.Link.port ->
   unit ->
   t
@@ -26,7 +45,9 @@ val create :
     them).  The timer starts at creation.  [interval] overrides the
     interval sequence (default: draws from [timer]); the fault-injection
     library uses it to layer clock drift, missed fires, and coalescing on
-    top of an unmodified gateway. *)
+    top of an unmodified gateway.  [buffers] supplies recycled internal
+    buffers (cleared on create); at most one live gateway may use a given
+    [Buffers.t] at a time. *)
 
 val input : t -> Netsim.Link.port
 (** Port on which payload traffic from the protected subnet arrives.

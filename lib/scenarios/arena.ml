@@ -1,0 +1,30 @@
+type t = {
+  sim : Desim.Sim.t;
+  tap_times : Netsim.Fvec.t;
+  tap_sizes : Netsim.Fvec.t;
+  gw : Padding.Gateway.Buffers.t;
+}
+
+let fresh () =
+  {
+    sim = Desim.Sim.create ();
+    tap_times = Netsim.Fvec.create ~capacity:1024 ();
+    tap_sizes = Netsim.Fvec.create ~capacity:1024 ();
+    gw = Padding.Gateway.Buffers.create ();
+  }
+
+(* One arena per domain: Exec.Pool workers never share a simulator, and a
+   single-domain sweep reuses the same arena run after run.  The key's
+   initializer runs lazily on first use in each domain. *)
+let key = Domain.DLS.new_key fresh
+
+let tap_buffers t = (t.tap_times, t.tap_sizes)
+
+let get ~fresh:want_fresh =
+  let t = if want_fresh then fresh () else Domain.DLS.get key in
+  (* Reset up front — not at run end — so state left by an aborted or
+     starved run can never leak into the next one.  [Sim.reset] restores
+     the event queue's push counter, making a reused arena's (time, seq)
+     schedule bit-identical to a fresh simulator's. *)
+  Desim.Sim.reset t.sim;
+  t

@@ -68,13 +68,14 @@ let piats_of_timestamps ts =
   let n = Array.length ts in
   if n < 2 then [||] else Array.init (n - 1) (fun i -> ts.(i + 1) -. ts.(i))
 
-let run cfg ~piats =
+let run ?(fresh_arena = false) cfg ~piats =
   validate cfg;
   if piats < 1 then invalid_arg "System.run: piats < 1";
   Obs.Trace.with_run
     (Printf.sprintf "system.run seed=%d pps=%g" cfg.seed cfg.payload_rate_pps)
   @@ fun () ->
-  let sim = Desim.Sim.create () in
+  let arena = Arena.get ~fresh:fresh_arena in
+  let sim = arena.Arena.sim in
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
   let rng_gateway = Prng.Rng.split root in
@@ -83,12 +84,14 @@ let run cfg ~piats =
   let topo =
     Netsim.Topology.chain sim ~rng:rng_cross ~hops:cfg.hops
       ~tap_position:cfg.tap_position
+      ~tap_buffers:(Arena.tap_buffers arena)
       ~dest:(Padding.Receiver.port receiver)
       ()
   in
   let gateway =
     Padding.Gateway.create sim ~rng:rng_gateway ~timer:cfg.timer
-      ~jitter:cfg.jitter ~packet_size:cfg.packet_size ~dest:topo.Netsim.Topology.entry ()
+      ~jitter:cfg.jitter ~packet_size:cfg.packet_size ~buffers:arena.Arena.gw
+      ~dest:topo.Netsim.Topology.entry ()
   in
   let source =
     start_payload_source sim ~model:cfg.payload_model ~rng:rng_payload
@@ -122,13 +125,15 @@ let run cfg ~piats =
     sim_time = Desim.Sim.now sim;
   }
 
-let run_mix ?(threshold = 8) ?(timeout = 0.5) cfg ~piats =
+let run_mix ?(fresh_arena = false) ?(threshold = 8) ?(timeout = 0.5) cfg
+    ~piats =
   validate cfg;
   if piats < 1 then invalid_arg "System.run_mix: piats < 1";
   Obs.Trace.with_run
     (Printf.sprintf "system.mix seed=%d pps=%g" cfg.seed cfg.payload_rate_pps)
   @@ fun () ->
-  let sim = Desim.Sim.create () in
+  let arena = Arena.get ~fresh:fresh_arena in
+  let sim = arena.Arena.sim in
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
   let rng_gateway = Prng.Rng.split root in
@@ -137,6 +142,7 @@ let run_mix ?(threshold = 8) ?(timeout = 0.5) cfg ~piats =
   let topo =
     Netsim.Topology.chain sim ~rng:rng_cross ~hops:cfg.hops
       ~tap_position:cfg.tap_position
+      ~tap_buffers:(Arena.tap_buffers arena)
       ~dest:(Padding.Receiver.port receiver)
       ()
   in
@@ -175,14 +181,16 @@ let run_mix ?(threshold = 8) ?(timeout = 0.5) cfg ~piats =
     sim_time = Desim.Sim.now sim;
   }
 
-let run_adaptive ?(min_period = 0.010) ?(max_period = 0.040) cfg ~piats =
+let run_adaptive ?(fresh_arena = false) ?(min_period = 0.010)
+    ?(max_period = 0.040) cfg ~piats =
   validate cfg;
   if piats < 1 then invalid_arg "System.run_adaptive: piats < 1";
   Obs.Trace.with_run
     (Printf.sprintf "system.adaptive seed=%d pps=%g" cfg.seed
        cfg.payload_rate_pps)
   @@ fun () ->
-  let sim = Desim.Sim.create () in
+  let arena = Arena.get ~fresh:fresh_arena in
+  let sim = arena.Arena.sim in
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
   let rng_gateway = Prng.Rng.split root in
@@ -191,12 +199,13 @@ let run_adaptive ?(min_period = 0.010) ?(max_period = 0.040) cfg ~piats =
   let topo =
     Netsim.Topology.chain sim ~rng:rng_cross ~hops:cfg.hops
       ~tap_position:cfg.tap_position
+      ~tap_buffers:(Arena.tap_buffers arena)
       ~dest:(Padding.Receiver.port receiver)
       ()
   in
   let gateway =
     Padding.Adaptive.create sim ~rng:rng_gateway ~min_period ~max_period
-      ~jitter:cfg.jitter ~packet_size:cfg.packet_size
+      ~jitter:cfg.jitter ~packet_size:cfg.packet_size ~buffers:arena.Arena.gw
       ~dest:topo.Netsim.Topology.entry ()
   in
   let source =
@@ -229,14 +238,15 @@ let run_adaptive ?(min_period = 0.010) ?(max_period = 0.040) cfg ~piats =
     sim_time = Desim.Sim.now sim;
   }
 
-let run_unpadded cfg ~packets =
+let run_unpadded ?(fresh_arena = false) cfg ~packets =
   validate cfg;
   if packets < 1 then invalid_arg "System.run_unpadded: packets < 1";
   Obs.Trace.with_run
     (Printf.sprintf "system.unpadded seed=%d pps=%g" cfg.seed
        cfg.payload_rate_pps)
   @@ fun () ->
-  let sim = Desim.Sim.create () in
+  let arena = Arena.get ~fresh:fresh_arena in
+  let sim = arena.Arena.sim in
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
   let _rng_gateway = Prng.Rng.split root in
@@ -245,6 +255,7 @@ let run_unpadded cfg ~packets =
   let topo =
     Netsim.Topology.chain sim ~rng:rng_cross ~hops:cfg.hops
       ~tap_position:cfg.tap_position
+      ~tap_buffers:(Arena.tap_buffers arena)
       ~dest:(Padding.Receiver.port receiver)
       ()
   in

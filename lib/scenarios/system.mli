@@ -34,24 +34,37 @@ type result = {
   sim_time : float;             (** simulated seconds consumed *)
 }
 
-val run : config -> piats:int -> result
+val run : ?fresh_arena:bool -> config -> piats:int -> result
 (** Simulate until the tap has recorded [piats] inter-arrival times beyond
     the warm-up, then stop.  Deterministic in [config.seed].
-    [piats >= 1]. *)
+    [piats >= 1].  By default the run recycles the calling domain's
+    {!Arena} (simulator, tap vectors, gateway buffers) — observably
+    identical to a fresh simulator but without re-growing storage on every
+    run of a sweep; [fresh_arena:true] forces brand-new state. *)
 
-val run_unpadded : config -> packets:int -> result
+val run_unpadded : ?fresh_arena:bool -> config -> packets:int -> result
 (** Baseline without any gateway: the payload stream crosses the same hop
     chain in the clear ([timer]/[jitter] ignored, [piats] are payload
     inter-arrivals).  Used by the packet-counting attack example. *)
 
 val run_mix :
-  ?threshold:int -> ?timeout:float -> config -> piats:int -> result
+  ?fresh_arena:bool ->
+  ?threshold:int ->
+  ?timeout:float ->
+  config ->
+  piats:int ->
+  result
 (** Same assembly but with a Chaum-style threshold {!Padding.Mix} instead
     of a timer gateway ([config.timer]/[jitter] ignored).  The batch-flush
     epochs leak the payload rate; used by the mix-vs-padding baseline. *)
 
 val run_adaptive :
-  ?min_period:float -> ?max_period:float -> config -> piats:int -> result
+  ?fresh_arena:bool ->
+  ?min_period:float ->
+  ?max_period:float ->
+  config ->
+  piats:int ->
+  result
 (** Same assembly but with the Timmerman-style {!Padding.Adaptive} gateway
     instead of the fixed-rate one ([config.timer] is ignored; [jitter]
     still applies).  Periods default to 10 ms / 40 ms. *)

@@ -5,33 +5,71 @@ type key = System.config * int
    safe and exactly the sharing relation we want. *)
 (* The cache is deliberately shared across Exec.Pool domains — that is
    its whole point (a worker must hit on a config another worker already
-   simulated).  Every access below goes through [mutex]. *)
-let table : (key, System.result) Hashtbl.t = Hashtbl.create 64 (* talint: allow R001 — mutex-guarded shared memo table *)
-let order : key Queue.t = Queue.create () (* talint: allow R001 — mutex-guarded FIFO eviction order *)
-let capacity = ref 32 (* talint: allow R001 — mutex-guarded knob *)
-let hits = ref 0 (* talint: allow R001 — mutex-guarded tally *)
-let misses = ref 0 (* talint: allow R001 — mutex-guarded tally *)
-let mutex = Mutex.create ()
+   simulated).  It is sharded by key hash so concurrent workers sweeping
+   different configs do not serialize on a single lock; every access to a
+   shard's state goes through that shard's mutex. *)
+
+type shard = {
+  mutex : Mutex.t;
+  table : (key, System.result) Hashtbl.t;
+  order : key Queue.t;  (* insertion order, for FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let shard_count = 8
+
+let shards =
+  (* talint: allow R001 — mutex-guarded sharded memo table, shared across domains by design *)
+  Array.init shard_count (fun _ ->
+      {
+        mutex = Mutex.create ();
+        table = Hashtbl.create 8;
+        order = Queue.create ();
+        hits = 0;
+        misses = 0;
+      })
+
+let shard_of key = shards.(Hashtbl.hash key mod shard_count)
+
+(* Global capacity knob; each shard holds its proportional share.  Atomic
+   so [run] can read it without taking any lock. *)
+let capacity = Atomic.make 32
+
+let per_shard_cap () =
+  let c = Atomic.get capacity in
+  if c = 0 then 0 else Stdlib.max 1 ((c + shard_count - 1) / shard_count)
+
+let trim_locked s cap =
+  while Hashtbl.length s.table > cap do
+    Hashtbl.remove s.table (Queue.pop s.order)
+  done
 
 let set_capacity n =
   if n < 0 then invalid_arg "Trace_cache.set_capacity: negative capacity";
-  Mutex.protect mutex (fun () ->
-      capacity := n;
-      while Hashtbl.length table > !capacity do
-        Hashtbl.remove table (Queue.pop order)
-      done)
+  Atomic.set capacity n;
+  let cap = per_shard_cap () in
+  Array.iter (fun s -> Mutex.protect s.mutex (fun () -> trim_locked s cap)) shards
 
 let clear () =
-  Mutex.protect mutex (fun () ->
-      Hashtbl.reset table;
-      Queue.clear order;
-      hits := 0;
-      misses := 0)
+  Array.iter
+    (fun s ->
+      Mutex.protect s.mutex (fun () ->
+          Hashtbl.reset s.table;
+          Queue.clear s.order;
+          s.hits <- 0;
+          s.misses <- 0))
+    shards
 
 type stats = { hits : int; misses : int }
 
 let stats () =
-  Mutex.protect mutex (fun () -> { hits = !hits; misses = !misses })
+  Array.fold_left
+    (fun acc s ->
+      Mutex.protect s.mutex (fun () ->
+          { hits = acc.hits + s.hits; misses = acc.misses + s.misses }))
+    { hits = 0; misses = 0 }
+    shards
 
 (* Hit/miss counts can depend on worker interleaving (two workers may
    both miss a key that would hit sequentially), so like exec.* these are
@@ -41,15 +79,16 @@ let m_misses = Obs.Metrics.counter "scenarios.trace_cache.misses"
 
 let run cfg ~piats =
   let key = (cfg, piats) in
+  let s = shard_of key in
   let cached =
-    Mutex.protect mutex (fun () ->
-        match Hashtbl.find_opt table key with
+    Mutex.protect s.mutex (fun () ->
+        match Hashtbl.find_opt s.table key with
         | Some r ->
-            incr hits;
+            s.hits <- s.hits + 1;
             Obs.Metrics.incr m_hits;
             Some r
         | None ->
-            incr misses;
+            s.misses <- s.misses + 1;
             Obs.Metrics.incr m_misses;
             None)
   in
@@ -57,12 +96,11 @@ let run cfg ~piats =
   | Some r -> r
   | None ->
       let r = System.run cfg ~piats in
-      Mutex.protect mutex (fun () ->
-          if !capacity > 0 && not (Hashtbl.mem table key) then begin
-            Hashtbl.replace table key r;
-            Queue.push key order;
-            while Hashtbl.length table > !capacity do
-              Hashtbl.remove table (Queue.pop order)
-            done
+      let cap = per_shard_cap () in
+      Mutex.protect s.mutex (fun () ->
+          if cap > 0 && not (Hashtbl.mem s.table key) then begin
+            Hashtbl.replace s.table key r;
+            Queue.push key s.order;
+            trim_locked s cap
           end);
       r

@@ -8,8 +8,11 @@
     removes duplicate work.
 
     The cache is thread-safe (used concurrently by {!Exec.Pool} workers)
-    and bounded: least-recently-inserted entries are evicted beyond
-    {!set_capacity}.  Cached results are shared structurally — callers
+    and sharded by key hash, so workers sweeping different configs do not
+    serialize on one lock.  It is bounded: least-recently-inserted entries
+    are evicted beyond {!set_capacity} (the bound is distributed across
+    shards, so the count held can exceed a very small capacity by a few
+    entries).  Cached results are shared structurally — callers
     must treat {!System.result} as immutable (every current caller
     does). *)
 
@@ -18,7 +21,8 @@ val run : System.config -> piats:int -> System.result
     simulate (deterministically equal results); one wins the slot. *)
 
 val set_capacity : int -> unit
-(** Maximum number of cached results (default 32).  [0] disables caching;
+(** Target maximum number of cached results (default 32), split across
+    shards (each shard keeps at least one entry).  [0] disables caching;
     raises [Invalid_argument] on negative values. *)
 
 val clear : unit -> unit

@@ -107,7 +107,7 @@ let quantile xs p =
   if n = 0 then invalid_arg "Descriptive.quantile: empty";
   if p < 0.0 || p > 1.0 then invalid_arg "Descriptive.quantile: p out of [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let h = p *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor h) in
   let hi = Stdlib.min (lo + 1) (n - 1) in

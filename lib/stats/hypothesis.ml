@@ -23,7 +23,7 @@ let ks_test xs ~cdf =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Hypothesis.ks_test: empty";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let fn = float_of_int n in
   let d = ref 0.0 in
   Array.iteri

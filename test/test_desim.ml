@@ -262,6 +262,207 @@ let prop_queue_is_sort =
       in
       drained = expected)
 
+(* --- SoA queue internals: free-list reuse, growth, payload storage --- *)
+
+(* Reference model: a list kept sorted by (time, push order).  Stable
+   insertion after all entries with time <= t reproduces the FIFO
+   tie-break contract. *)
+let ref_insert reference t seq =
+  let rec ins = function
+    | [] -> [ (t, seq) ]
+    | (t', s') :: tl when t' <= t -> (t', s') :: ins tl
+    | rest -> (t, seq) :: rest
+  in
+  ins reference
+
+let prop_queue_interleaved_matches_reference =
+  QCheck.Test.make
+    ~name:"interleaved push/pop matches a sorted-list reference" ~count:300
+    QCheck.(list (pair bool (float_bound_exclusive 100.0)))
+    (fun ops ->
+      let q = Desim.Event_queue.create () in
+      let reference = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      let pop_and_check () =
+        match (Desim.Event_queue.pop q, !reference) with
+        | None, [] -> ()
+        | Some (t, v), (rt, rv) :: tl when t = rt && v = rv -> reference := tl
+        | _ -> ok := false
+      in
+      List.iter
+        (fun (is_push, t) ->
+          if is_push then begin
+            Desim.Event_queue.push q ~time:t !seq;
+            reference := ref_insert !reference t !seq;
+            incr seq
+          end
+          else pop_and_check ())
+        ops;
+      while not (Desim.Event_queue.is_empty q && !reference = []) && !ok do
+        pop_and_check ()
+      done;
+      !ok)
+
+let test_queue_growth_across_free_list () =
+  (* Fill the initial 16-slot storage, free half the slots, then push far
+     past capacity: growth must carry live entries and the free list
+     without losing or reordering anything. *)
+  let q = Desim.Event_queue.create () in
+  let reference = ref [] in
+  let seq = ref 0 in
+  let push t =
+    Desim.Event_queue.push q ~time:t !seq;
+    reference := ref_insert !reference t !seq;
+    incr seq
+  in
+  for i = 0 to 15 do
+    push (float_of_int ((i * 11) mod 16))
+  done;
+  for _ = 0 to 7 do
+    match (Desim.Event_queue.pop q, !reference) with
+    | Some (t, v), (rt, rv) :: tl when t = rt && v = rv -> reference := tl
+    | _ -> Alcotest.fail "mismatch before growth"
+  done;
+  for i = 0 to 39 do
+    push (float_of_int ((i * 7) mod 20))
+  done;
+  Alcotest.(check bool) "grew past initial capacity" true
+    (Desim.Event_queue.capacity q > 16);
+  let rec drain () =
+    match (Desim.Event_queue.pop q, !reference) with
+    | None, [] -> ()
+    | Some (t, v), (rt, rv) :: tl when t = rt && v = rv ->
+        reference := tl;
+        drain ()
+    | _ -> Alcotest.fail "mismatch after growth"
+  in
+  drain ()
+
+let test_queue_float_payload_roundtrip () =
+  (* Float payloads exercise the specialised-array storage path the old
+     Obj.magic seeding used to corrupt in theory; every value must come
+     back bit-exact through min_time/pop_exn. *)
+  let q = Desim.Event_queue.create () in
+  for i = 0 to 99 do
+    Desim.Event_queue.push q ~time:(float_of_int (99 - i)) (float_of_int i *. 1.5)
+  done;
+  for k = 0 to 99 do
+    let t = Desim.Event_queue.min_time q in
+    let v = Desim.Event_queue.pop_exn q in
+    Alcotest.(check (float 0.0)) "time order" (float_of_int k) t;
+    Alcotest.(check (float 0.0)) "payload" ((99.0 -. t) *. 1.5) v
+  done;
+  Alcotest.check_raises "min_time empty"
+    (Invalid_argument "Event_queue.min_time: empty queue") (fun () ->
+      ignore (Desim.Event_queue.min_time q : float));
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Event_queue.pop_exn: empty queue") (fun () ->
+      ignore (Desim.Event_queue.pop_exn q : float))
+
+let test_queue_clear_reuse_deterministic () =
+  (* After clear, a reused queue must behave exactly like a fresh one —
+     including the FIFO tie-break, i.e. the push counter restarts. *)
+  let drive q =
+    List.iter
+      (fun (t, v) -> Desim.Event_queue.push q ~time:t v)
+      [ (2.0, 0); (1.0, 1); (2.0, 2); (1.0, 3); (2.0, 4) ];
+    let rec drain acc =
+      match Desim.Event_queue.pop q with
+      | None -> List.rev acc
+      | Some (_, v) -> drain (v :: acc)
+    in
+    drain []
+  in
+  let fresh = drive (Desim.Event_queue.create ()) in
+  let q = Desim.Event_queue.create () in
+  for i = 0 to 40 do
+    Desim.Event_queue.push q ~time:(float_of_int i) i
+  done;
+  let cap_before = Desim.Event_queue.capacity q in
+  Desim.Event_queue.clear q;
+  Alcotest.(check int) "empty after clear" 0 (Desim.Event_queue.size q);
+  Alcotest.(check int) "capacity kept" cap_before (Desim.Event_queue.capacity q);
+  Alcotest.(check (list int)) "reused = fresh" fresh (drive q)
+
+let test_queue_steady_state_allocs () =
+  (* Canary against reintroducing per-event heap records: in steady state a
+     push/pop cycle must stay within a few words (float boxing at the call
+     boundary), far below the old entry-record + option + tuple cost. *)
+  match Sys.backend_type with
+  | Sys.Native ->
+      let q = Desim.Event_queue.create () in
+      let iter () =
+        Desim.Event_queue.clear q;
+        for i = 0 to 999 do
+          Desim.Event_queue.push q ~time:(float_of_int ((i * 7919) mod 1000)) ()
+        done;
+        while not (Desim.Event_queue.is_empty q) do
+          ignore (Desim.Event_queue.min_time q : float);
+          Desim.Event_queue.pop_exn q
+        done
+      in
+      iter ();
+      let w0 = Gc.minor_words () in
+      for _ = 1 to 10 do
+        iter ()
+      done;
+      let per_op = (Gc.minor_words () -. w0) /. 20_000.0 in
+      if per_op > 4.0 then
+        Alcotest.failf "steady-state allocation %.2f words/op (want <= 4)" per_op
+  | _ -> ()
+
+let test_rearm () =
+  let sim = Desim.Sim.create () in
+  let fired = ref [] in
+  let h =
+    Desim.Sim.at sim ~time:1.0 (fun () -> fired := Desim.Sim.now sim :: !fired)
+  in
+  Desim.Sim.run_until sim ~time:1.0;
+  (* Re-arming the same handle twice queues two distinct occurrences. *)
+  Desim.Sim.rearm sim h ~delay:0.5;
+  Desim.Sim.rearm sim h ~delay:0.75;
+  Desim.Sim.run_until sim ~time:2.0;
+  Alcotest.(check (list (float 1e-12))) "original + both re-arms"
+    [ 1.75; 1.5; 1.0 ] !fired;
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.rearm: negative delay") (fun () ->
+      Desim.Sim.rearm sim h ~delay:(-0.1));
+  (* A cancelled handle stays cancelled through a re-arm. *)
+  Desim.Sim.cancel h;
+  Desim.Sim.rearm sim h ~delay:0.1;
+  Desim.Sim.run_until sim ~time:3.0;
+  Alcotest.(check int) "cancelled re-arm suppressed" 3 (List.length !fired)
+
+let test_reset_restores_determinism () =
+  (* A reset simulator must replay a schedule bit-identically to a fresh
+     one — same clock, same FIFO tie-breaks (push counter restarts). *)
+  let record sim =
+    let log = ref [] in
+    ignore
+      (Desim.Sim.every sim
+         ~interval:(fun () -> 0.25)
+         (fun () -> log := (Desim.Sim.now sim, 0) :: !log)
+        : Desim.Sim.handle);
+    (* Two same-time events: their order is decided by the push counter. *)
+    ignore (Desim.Sim.at sim ~time:0.5 (fun () -> log := (0.5, 1) :: !log)
+             : Desim.Sim.handle);
+    ignore (Desim.Sim.at sim ~time:0.5 (fun () -> log := (0.5, 2) :: !log)
+             : Desim.Sim.handle);
+    Desim.Sim.run_until sim ~time:1.0;
+    List.rev !log
+  in
+  let fresh = record (Desim.Sim.create ()) in
+  let sim = Desim.Sim.create () in
+  ignore (Desim.Sim.at sim ~time:0.1 (fun () -> ()) : Desim.Sim.handle);
+  ignore (Desim.Sim.at sim ~time:9.0 (fun () -> ()) : Desim.Sim.handle);
+  Desim.Sim.run_until sim ~time:0.35;
+  Desim.Sim.reset sim;
+  Alcotest.(check int) "pending cleared" 0 (Desim.Sim.pending sim);
+  Alcotest.(check (float 0.0)) "clock reset" 0.0 (Desim.Sim.now sim);
+  Alcotest.(check (list (pair (float 1e-12) int))) "reset = fresh" fresh
+    (record sim)
+
 let suite =
   [
     Alcotest.test_case "queue time order" `Quick test_queue_orders_by_time;
@@ -284,4 +485,16 @@ let suite =
     Alcotest.test_case "run_all event budget" `Quick test_run_all_budget;
     Alcotest.test_case "pending count" `Quick test_pending_count;
     QCheck_alcotest.to_alcotest prop_queue_is_sort;
+    QCheck_alcotest.to_alcotest prop_queue_interleaved_matches_reference;
+    Alcotest.test_case "queue growth across free list" `Quick
+      test_queue_growth_across_free_list;
+    Alcotest.test_case "queue float payload roundtrip" `Quick
+      test_queue_float_payload_roundtrip;
+    Alcotest.test_case "queue clear-reuse determinism" `Quick
+      test_queue_clear_reuse_deterministic;
+    Alcotest.test_case "queue steady-state allocations" `Quick
+      test_queue_steady_state_allocs;
+    Alcotest.test_case "rearm" `Quick test_rearm;
+    Alcotest.test_case "reset restores determinism" `Quick
+      test_reset_restores_determinism;
   ]

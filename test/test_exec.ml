@@ -78,6 +78,42 @@ let test_fig4b_bit_identical_across_jobs () =
   Alcotest.(check (float 0.0)) "r_hat identical (jobs=8)" r1 r8;
   Alcotest.(check bool) "output non-empty" true (String.length out1 > 0)
 
+(* --- (b') arena reuse is bit-identical to fresh simulators --- *)
+
+let test_arena_reuse_bit_identical () =
+  (* System.run recycles a per-domain arena (simulator, tap vectors,
+     gateway buffers) by default; forcing brand-new state for every run
+     must change nothing, at any worker count.  Prime the arena with an
+     unrelated differently-shaped run first so reuse starts from dirty,
+     already-grown storage. *)
+  let cfg =
+    { Scenarios.System.default_config with Scenarios.System.seed = 31_337 }
+  in
+  ignore
+    (Scenarios.System.run
+       { cfg with Scenarios.System.seed = 1; payload_rate_pps = 55.0 }
+       ~piats:120
+      : Scenarios.System.result);
+  let reused = Scenarios.System.run cfg ~piats:400 in
+  let fresh = Scenarios.System.run ~fresh_arena:true cfg ~piats:400 in
+  Alcotest.(check bool) "piats bit-identical" true
+    (reused.Scenarios.System.piats = fresh.Scenarios.System.piats);
+  Alcotest.(check bool) "timestamps bit-identical" true
+    (reused.Scenarios.System.timestamps = fresh.Scenarios.System.timestamps);
+  Alcotest.(check (float 0.0)) "overhead identical"
+    fresh.Scenarios.System.overhead reused.Scenarios.System.overhead;
+  Alcotest.(check int) "delivered identical"
+    fresh.Scenarios.System.payload_delivered
+    reused.Scenarios.System.payload_delivered;
+  (* And the full fig4b pipeline stays bit-identical across jobs while
+     every worker recycles its own arena (fig4b_output already runs with
+     the reusing default). *)
+  let out1, _ = fig4b_output 1 in
+  let out2, _ = fig4b_output 2 in
+  let out8, _ = fig4b_output 8 in
+  Alcotest.(check string) "fig4b reused-arena jobs=2 = jobs=1" out1 out2;
+  Alcotest.(check string) "fig4b reused-arena jobs=8 = jobs=1" out1 out8
+
 (* --- (c) exception handling: pool survives a raising task --- *)
 
 let test_reraises_first_failure () =
@@ -172,6 +208,39 @@ let test_trace_cache_shares_identical_runs () =
     stats3.Scenarios.Trace_cache.misses;
   Scenarios.Trace_cache.clear ()
 
+let test_trace_cache_shards_and_eviction () =
+  Scenarios.Trace_cache.clear ();
+  Scenarios.Trace_cache.set_capacity 4;
+  Fun.protect ~finally:(fun () ->
+      Scenarios.Trace_cache.set_capacity 32;
+      Scenarios.Trace_cache.clear ())
+  @@ fun () ->
+  (* More distinct keys than the capacity, spread across shards by the
+     key hash; eviction is FIFO per shard, so the most recent insert in
+     each shard survives. *)
+  let cfg i =
+    {
+      Scenarios.System.default_config with
+      Scenarios.System.seed = 7_000 + i;
+      warmup_piats = 5;
+    }
+  in
+  for i = 0 to 9 do
+    ignore (Scenarios.Trace_cache.run (cfg i) ~piats:10 : Scenarios.System.result)
+  done;
+  let s1 = Scenarios.Trace_cache.stats () in
+  Alcotest.(check int) "10 distinct keys miss" 10 s1.Scenarios.Trace_cache.misses;
+  Alcotest.(check int) "no hits yet" 0 s1.Scenarios.Trace_cache.hits;
+  (* The last-inserted key is the newest in its shard: retained. *)
+  ignore (Scenarios.Trace_cache.run (cfg 9) ~piats:10 : Scenarios.System.result);
+  let s2 = Scenarios.Trace_cache.stats () in
+  Alcotest.(check int) "newest key hits" 1 s2.Scenarios.Trace_cache.hits;
+  (* Capacity 0 disables caching entirely. *)
+  Scenarios.Trace_cache.set_capacity 0;
+  ignore (Scenarios.Trace_cache.run (cfg 9) ~piats:10 : Scenarios.System.result);
+  let s3 = Scenarios.Trace_cache.stats () in
+  Alcotest.(check int) "disabled cache misses" 11 s3.Scenarios.Trace_cache.misses
+
 let test_set_default_jobs_validates () =
   Alcotest.check_raises "jobs < 1 rejected"
     (Invalid_argument "Exec.Pool.set_default_jobs: jobs < 1") (fun () ->
@@ -185,6 +254,8 @@ let suite =
       test_combinators_match_sequential;
     Alcotest.test_case "fig4b bit-identical at jobs 1/2/8" `Slow
       test_fig4b_bit_identical_across_jobs;
+    Alcotest.test_case "arena reuse bit-identical to fresh" `Slow
+      test_arena_reuse_bit_identical;
     Alcotest.test_case "re-raises lowest-index failure; pool survives" `Quick
       test_reraises_first_failure;
     Alcotest.test_case "both: results and error ordering" `Quick
@@ -193,6 +264,8 @@ let suite =
       test_seed_derivation_order_independent;
     Alcotest.test_case "trace cache shares identical collections" `Slow
       test_trace_cache_shares_identical_runs;
+    Alcotest.test_case "trace cache shards and eviction" `Slow
+      test_trace_cache_shards_and_eviction;
     Alcotest.test_case "set_default_jobs validates" `Quick
       test_set_default_jobs_validates;
   ]

@@ -1,8 +1,9 @@
 (* Exit-code contract, end to end:
 
      0   success
+     1   tabench_diff found a performance regression
      2   invalid CLI (both the Cmdliner-based ta_lab and the Arg-based
-         bench/talint)
+         bench/talint/tabench_diff), or an unreadable/invalid report
      3   Tap_starved — a diagnosed starvation report, never a backtrace
 
    Locked down here because ta_lab once exited with Cmdliner's default
@@ -16,6 +17,10 @@ let ta_lab () = find_exe [ "../bin/ta_lab.exe"; "_build/default/bin/ta_lab.exe" 
 
 let bench () =
   find_exe [ "../bench/main.exe"; "_build/default/bench/main.exe" ]
+
+let tabench_diff () =
+  find_exe
+    [ "../bin/tabench_diff.exe"; "_build/default/bin/tabench_diff.exe" ]
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
@@ -84,6 +89,115 @@ let test_bench_starved_exit_3 () =
         "no raw backtrace" false
         (contains output "Raised at" || contains output "Fatal error")
 
+(* Write a minimal but valid ta-bench/2 report; [wall_s] and [ns] let a
+   test dial in a regression on one side. *)
+let write_report ~wall_s ~ns =
+  let path = Filename.temp_file "tabench" ".json" in
+  Out_channel.with_open_bin path (fun oc ->
+      Printf.fprintf oc
+        {|{"schema": "ta-bench/2", "scale": 0.05, "seed": 42, "jobs": 1,
+ "stages": [{"id": "fig4b", "wall_s": %g}],
+ "micro": [{"name": "event_queue.push_pop_1k", "ns_per_run": %g}]}|}
+        wall_s ns);
+  path
+
+let with_reports f =
+  let base = write_report ~wall_s:1.0 ~ns:100.0 in
+  let slow = write_report ~wall_s:1.0 ~ns:200.0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove base;
+      Sys.remove slow)
+    (fun () -> f ~base ~slow)
+
+let test_tabench_diff_invalid_cli () =
+  match tabench_diff () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      with_reports (fun ~base ~slow:_ ->
+          ignore (check_code exe (Filename.quote base) 2 : string);
+          ignore (check_code exe "--no-such-flag a.json b.json" 2 : string);
+          ignore
+            (check_code exe
+               (Printf.sprintf "--format yaml %s %s" (Filename.quote base)
+                  (Filename.quote base))
+               2
+              : string);
+          ignore
+            (check_code exe
+               (Printf.sprintf "--tolerance -0.5 %s %s" (Filename.quote base)
+                  (Filename.quote base))
+               2
+              : string);
+          ignore
+            (check_code exe
+               (Printf.sprintf "/nonexistent/base.json %s" (Filename.quote base))
+               2
+              : string))
+
+let test_tabench_diff_rejects_bad_report () =
+  match tabench_diff () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      let bad = Filename.temp_file "tabench" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove bad)
+        (fun () ->
+          let check contents expected_msg =
+            Out_channel.with_open_bin bad (fun oc ->
+                Out_channel.output_string oc contents);
+            let output =
+              check_code exe
+                (Printf.sprintf "%s %s" (Filename.quote bad)
+                   (Filename.quote bad))
+                2
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "error mentions %S" expected_msg)
+              true
+              (let lh = String.length output
+               and ln = String.length expected_msg in
+               let rec go i =
+                 i + ln <= lh
+                 && (String.sub output i ln = expected_msg || go (i + 1))
+               in
+               go 0)
+          in
+          check "{not json" "tabench_diff:";
+          check {|{"schema": "ta-bench/1"}|} "unsupported schema";
+          check {|{"stages": []}|} "missing \"schema\" key")
+
+let test_tabench_diff_verdicts () =
+  match tabench_diff () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      with_reports (fun ~base ~slow ->
+          let q = Filename.quote in
+          (* Identical reports: clean exit 0. *)
+          let out = check_code exe (Printf.sprintf "%s %s" (q base) (q base)) 0 in
+          let contains hay needle =
+            let lh = String.length hay and ln = String.length needle in
+            let rec go i =
+              i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "self-diff reports OK" true (contains out "OK:");
+          (* 2x slower micro breaches the default 25% tolerance: exit 1. *)
+          ignore
+            (check_code exe (Printf.sprintf "%s %s" (q base) (q slow)) 1
+              : string);
+          (* ...but a widened tolerance lets the same pair pass. *)
+          ignore
+            (check_code exe
+               (Printf.sprintf "--tolerance 1.5 %s %s" (q base) (q slow))
+               0
+              : string);
+          (* Improvements never fail, whatever the magnitude. *)
+          ignore
+            (check_code exe (Printf.sprintf "%s %s" (q slow) (q base)) 0
+              : string))
+
 let suite =
   [
     Alcotest.test_case "ta_lab: invalid CLI exits 2" `Quick
@@ -92,4 +206,10 @@ let suite =
       test_bench_invalid_cli;
     Alcotest.test_case "bench: Tap_starved exits 3 with a report" `Quick
       test_bench_starved_exit_3;
+    Alcotest.test_case "tabench_diff: invalid CLI exits 2" `Quick
+      test_tabench_diff_invalid_cli;
+    Alcotest.test_case "tabench_diff: bad report exits 2" `Quick
+      test_tabench_diff_rejects_bad_report;
+    Alcotest.test_case "tabench_diff: verdict exit codes 0/1" `Quick
+      test_tabench_diff_verdicts;
   ]
