@@ -21,6 +21,11 @@ let json_path = ref ""
 let trace_path = ref ""
 let check_trace = ref false
 let intensities : float list option ref = ref None
+let checkpoint = ref ""
+let retries = ref (-1) (* -1 = library default *)
+let strict = ref false
+let inject = ref ""
+let event_budget = ref 0 (* 0 = disarmed *)
 
 let known_figures =
   [
@@ -70,6 +75,30 @@ let args =
           intensities := Some (List.map parse_one (String.split_on_char ',' s))),
       "LIST comma-separated fault intensities in [0,1] for the faults \
        stage (default 0,0.02,0.05,0.1,0.2,0.4)" );
+    ( "--checkpoint",
+      Arg.Set_string checkpoint,
+      "DIR journal completed sweep points to DIR (ta-ckpt/1) and resume \
+       from it on rerun; resumed output is byte-identical at any --jobs" );
+    ( "--retries",
+      Arg.Int
+        (fun n ->
+          if n < 0 then raise (Arg.Bad "--retries must be >= 0");
+          retries := n),
+      "N re-attempts before a failing sweep point is quarantined (default 2)" );
+    ( "--strict",
+      Arg.Set strict,
+      " disable failure containment: the first failing sweep point aborts \
+       the run (tap starvation keeps its historical exit 3)" );
+    ( "--inject-fail",
+      Arg.Set_string inject,
+      "SPEC fault injection: comma-separated SWEEP:INDEX or SWEEP:INDEX@K \
+       (fails attempts < K)" );
+    ( "--event-budget",
+      Arg.Int
+        (fun n ->
+          if n < 1 then raise (Arg.Bad "--event-budget must be >= 1");
+          event_budget := n),
+      "N per-point simulator event budget (watchdog against runaway points)" );
   ]
 
 let wanted id =
@@ -412,6 +441,17 @@ let () =
     prerr_endline "bench: --check-trace requires --trace FILE";
     exit 2
   end;
+  if !inject <> "" then begin
+    match Scenarios.Sweep.parse_injection !inject with
+    | Ok injections -> Scenarios.Sweep.set_injections injections
+    | Error msg ->
+        Printf.eprintf "bench: %s\n" msg;
+        exit 2
+  end;
+  if !checkpoint <> "" then Scenarios.Sweep.set_checkpoint_dir (Some !checkpoint);
+  if !retries >= 0 then Scenarios.Sweep.set_retries !retries;
+  Scenarios.Sweep.set_strict !strict;
+  if !event_budget > 0 then Scenarios.Sweep.set_event_budget (Some !event_budget);
   if !jobs > 0 then Exec.Pool.set_default_jobs !jobs;
   let resolved_jobs = Exec.Pool.default_jobs () in
   Format.fprintf fmt "[exec: %d worker domain%s]@." resolved_jobs
@@ -419,13 +459,20 @@ let () =
   if !trace_path <> "" then Obs.Trace.enable ~path:!trace_path;
   let t0 = Unix.gettimeofday () in
   (* Same contract as ta_lab: a starved tap is a diagnosed failure, not a
-     backtrace — commit the partial trace, print the report, exit 3. *)
-  (try run_figures ()
-   with Scenarios.Starvation.Tap_starved _ as e ->
-     Obs.Trace.flush ();
-     Format.eprintf "bench: ";
-     ignore (Scenarios.Starvation.pp_starved Format.err_formatter e : bool);
-     exit 3);
+     backtrace — commit the partial trace, print the report, exit 3.
+     Supervised sweeps contain these and exit 4 instead; this handler
+     covers --strict and unsupervised code paths. *)
+  (try run_figures () with
+  | Scenarios.Starvation.Tap_starved _ as e ->
+      Obs.Trace.flush ();
+      Format.eprintf "bench: ";
+      ignore (Scenarios.Starvation.pp_starved Format.err_formatter e : bool);
+      exit 3
+  | Desim.Sim.Event_budget_exceeded { max_events } ->
+      Obs.Trace.flush ();
+      Printf.eprintf "bench: simulation exceeded the --event-budget (%d events)\n"
+        max_events;
+      exit 3);
   Obs.Trace.flush ();
   let micro = if !run_micro then run_micro_benchmarks () else [] in
   let total = Unix.gettimeofday () -. t0 in
@@ -433,11 +480,27 @@ let () =
     write_json !json_path ~resolved_jobs ~total ~micro;
   Format.fprintf fmt "@.[bench total %.1f s, scale %.2f, seed %d, jobs %d]@."
     total !scale !seed resolved_jobs;
-  if !check_trace then
-    match Obs.Trace.validate_file !trace_path with
-    | Ok { Obs.Trace.events; runs } ->
-        Format.fprintf fmt "[trace OK: %d events across %d runs]@." events runs
-    | Error msg ->
-        Printf.eprintf "bench: trace %s violates ta-trace/1: %s\n" !trace_path
-          msg;
-        exit 1
+  (if !check_trace then
+     match Obs.Trace.validate_file !trace_path with
+     | Ok { Obs.Trace.events; runs } ->
+         Format.fprintf fmt "[trace OK: %d events across %d runs]@." events runs
+     | Error msg ->
+         Printf.eprintf "bench: trace %s violates ta-trace/1: %s\n" !trace_path
+           msg;
+         exit 1);
+  (* Partial results: the tables (with annotated rows), trace and JSON
+     report are all on disk by now — record the ta-fail/1 manifest and
+     exit 4 so CI can tell "complete" from "degraded". *)
+  if Scenarios.Sweep.partial () then begin
+    Format.pp_print_flush fmt ();
+    let dir = if !checkpoint <> "" then !checkpoint else !csv_dir in
+    if dir <> "" then begin
+      let path = Filename.concat dir "failures.json" in
+      Scenarios.Sweep.write_manifest ~path;
+      Printf.eprintf "bench: failure manifest written to %s\n" path
+    end;
+    prerr_endline "bench: partial results:";
+    Scenarios.Sweep.pp_failures Format.err_formatter;
+    Format.pp_print_flush Format.err_formatter ();
+    exit 4
+  end

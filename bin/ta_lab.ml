@@ -70,12 +70,116 @@ let trace_arg =
 let metrics_arg =
   let doc =
     "After the run, print the merged metrics registry and the per-stage \
-     span profile.  Only exec.*, scenarios.trace_cache.* and span timings \
-     depend on --jobs / wall clock."
+     span profile.  Only exec.* and span timings depend on --jobs / wall \
+     clock."
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
 let apply_trace trace = Option.iter (fun path -> Obs.Trace.enable ~path) trace
+
+(* Resilient-execution knobs, shared by every sweep-running command. *)
+
+type resilience = {
+  checkpoint : string option;
+  retries : int option;
+  strict : bool;
+  inject : string option;
+  event_budget : int option;
+}
+
+let checkpoint_arg =
+  let doc =
+    "Checkpoint directory: journal every completed sweep point to \
+     $(docv) (ta-ckpt/1, one file per sweep) and replay journaled points \
+     on a rerun — a killed run resumes where it stopped with \
+     byte-identical tables, at any --jobs."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+
+let retries_arg =
+  let doc =
+    "Re-attempts (fresh derived seed each) before a failing sweep point \
+     is quarantined (default 2)."
+  in
+  Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N" ~doc)
+
+let strict_arg =
+  let doc =
+    "Disable failure containment: the first failing sweep point aborts \
+     the run with its original exception (tap starvation keeps its \
+     historical exit 3)."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let inject_arg =
+  let doc =
+    "Fault injection for testing the supervisor: comma-separated \
+     SWEEP:INDEX (always fails) or SWEEP:INDEX\\@K (fails attempts < K), \
+     e.g. 'fig6:2\\@1'."
+  in
+  Arg.(value & opt (some string) None & info [ "inject-fail" ] ~docv:"SPEC" ~doc)
+
+let event_budget_arg =
+  let doc =
+    "Per-point simulator event budget: a sweep point whose simulation \
+     processes more than $(docv) events is declared failed (watchdog \
+     against runaway points)."
+  in
+  Arg.(value & opt (some int) None & info [ "event-budget" ] ~docv:"N" ~doc)
+
+let resilience_term =
+  let make checkpoint retries strict inject event_budget =
+    { checkpoint; retries; strict; inject; event_budget }
+  in
+  Term.(
+    const make $ checkpoint_arg $ retries_arg $ strict_arg $ inject_arg
+    $ event_budget_arg)
+
+let apply_resilience r =
+  match Option.map Scenarios.Sweep.parse_injection r.inject with
+  | Some (Error msg) -> `Error (false, msg)
+  | None | Some (Ok _) -> (
+      match r.retries with
+      | Some n when n < 0 ->
+          `Error (false, Printf.sprintf "retries must be >= 0, got %d" n)
+      | _ -> (
+          match r.event_budget with
+          | Some n when n < 1 ->
+              `Error (false, Printf.sprintf "event budget must be >= 1, got %d" n)
+          | _ ->
+              Scenarios.Sweep.set_checkpoint_dir r.checkpoint;
+              Option.iter Scenarios.Sweep.set_retries r.retries;
+              Scenarios.Sweep.set_strict r.strict;
+              Scenarios.Sweep.set_event_budget r.event_budget;
+              (match Option.map Scenarios.Sweep.parse_injection r.inject with
+              | Some (Ok injections) ->
+                  Scenarios.Sweep.set_injections injections
+              | None | Some (Error _) -> Scenarios.Sweep.clear_injections ());
+              `Ok ()))
+
+(* Partial results: annotated tables were already printed; record the
+   machine-readable manifest next to the journal (or the CSVs) and exit 4
+   so scripts can tell "complete" from "degraded". *)
+let finish_partial ~resilience ~csv_dir =
+  if Scenarios.Sweep.partial () then begin
+    Format.pp_print_flush fmt ();
+    let dir =
+      match (resilience.checkpoint, csv_dir) with
+      | Some d, _ -> Some d
+      | None, Some d -> Some d
+      | None, None -> None
+    in
+    (match dir with
+    | Some d ->
+        let path = Filename.concat d "failures.json" in
+        Scenarios.Sweep.write_manifest ~path;
+        Format.eprintf "ta_lab: failure manifest written to %s@." path
+    | None -> ());
+    Format.eprintf "ta_lab: partial results:@.";
+    Scenarios.Sweep.pp_failures Format.err_formatter;
+    Format.pp_print_flush Format.err_formatter ();
+    exit 4
+  end
 
 let print_metrics () =
   Format.fprintf fmt "@.== metrics ==@.%a" Obs.Metrics.Snapshot.pp
@@ -95,19 +199,23 @@ let finish_obs metrics =
   if metrics then print_metrics ()
 
 let run_figure name f =
-  let run scale seed csv_dir jobs trace metrics =
-    apply_jobs jobs;
-    apply_trace trace;
-    Scenarios.Calibration.print_setup fmt;
-    f ~scale ?seed ?csv_dir ();
-    finish_obs metrics;
-    `Ok ()
+  let run scale seed csv_dir jobs trace metrics resilience =
+    match apply_resilience resilience with
+    | `Error _ as e -> e
+    | `Ok () ->
+        apply_jobs jobs;
+        apply_trace trace;
+        Scenarios.Calibration.print_setup fmt;
+        f ~scale ?seed ?csv_dir ();
+        finish_obs metrics;
+        finish_partial ~resilience ~csv_dir;
+        `Ok ()
   in
   let term =
     Term.(
       ret
         (const run $ scale_arg $ seed_arg $ csv_arg $ jobs_arg $ trace_arg
-       $ metrics_arg))
+       $ metrics_arg $ resilience_term))
   in
   let info = Cmd.info name ~doc:(Printf.sprintf "Reproduce %s." name) in
   Cmd.v info term
@@ -153,22 +261,26 @@ let faults_cmd =
     Arg.(value & opt (some (list float)) None
          & info [ "intensities" ] ~docv:"LIST" ~doc)
   in
-  let run scale seed csv_dir intensities jobs trace metrics =
+  let run scale seed csv_dir intensities jobs trace metrics resilience =
     match
       Option.bind intensities (fun xs ->
           List.find_opt (fun x -> Float.is_nan x || x < 0.0 || x > 1.0) xs)
     with
     | Some bad ->
         `Error (false, Printf.sprintf "intensity %g outside [0, 1]" bad)
-    | None ->
-        apply_jobs jobs;
-        apply_trace trace;
-        Scenarios.Calibration.print_setup fmt;
-        ignore
-          (Scenarios.Degradation.run ~scale ?seed ?csv_dir:csv_dir
-             ?intensities fmt);
-        finish_obs metrics;
-        `Ok ()
+    | None -> (
+        match apply_resilience resilience with
+        | `Error _ as e -> e
+        | `Ok () ->
+            apply_jobs jobs;
+            apply_trace trace;
+            Scenarios.Calibration.print_setup fmt;
+            ignore
+              (Scenarios.Degradation.run ~scale ?seed ?csv_dir:csv_dir
+                 ?intensities fmt);
+            finish_obs metrics;
+            finish_partial ~resilience ~csv_dir;
+            `Ok ())
   in
   Cmd.v
     (Cmd.info "faults"
@@ -178,10 +290,13 @@ let faults_cmd =
     Term.(
       ret
         (const run $ scale_arg $ seed_arg $ csv_arg $ intensities_arg
-       $ jobs_arg $ trace_arg $ metrics_arg))
+       $ jobs_arg $ trace_arg $ metrics_arg $ resilience_term))
 
 let ablations_cmd =
-  let run scale seed jobs trace metrics =
+  let run scale seed jobs trace metrics resilience =
+    match apply_resilience resilience with
+    | `Error _ as e -> e
+    | `Ok () ->
     apply_jobs jobs;
     apply_trace trace;
     let seed = Option.value seed ~default:51_000 in
@@ -198,13 +313,14 @@ let ablations_cmd =
     Scenarios.Ablations_ext.run_bounds_table fmt;
     ignore (Scenarios.Ablations_ext.run_qos_table ~seed:(seed + 8) fmt);
     finish_obs metrics;
+    finish_partial ~resilience ~csv_dir:None;
     `Ok ()
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Run all design-choice ablations.")
     Term.(
       ret (const run $ scale_arg $ seed_arg $ jobs_arg $ trace_arg
-         $ metrics_arg))
+         $ metrics_arg $ resilience_term))
 
 let theory_cmd =
   let r_arg =
@@ -337,7 +453,10 @@ let setup_cmd =
     Term.(ret (const run $ const ()))
 
 let all_cmd =
-  let run scale seed csv_dir jobs trace metrics =
+  let run scale seed csv_dir jobs trace metrics resilience =
+    match apply_resilience resilience with
+    | `Error _ as e -> e
+    | `Ok () ->
     apply_jobs jobs;
     apply_trace trace;
     Scenarios.Calibration.print_setup fmt;
@@ -351,6 +470,7 @@ let all_cmd =
     ignore (Scenarios.Fig8.run ~scale ~seed:(s + 7) ~kind:Scenarios.Fig8.Wan ?csv_dir fmt);
     ignore (Scenarios.Multirate.run ~scale ~seed:(s + 8) ?csv_dir fmt);
     finish_obs metrics;
+    finish_partial ~resilience ~csv_dir;
     `Ok ()
   in
   Cmd.v
@@ -358,7 +478,7 @@ let all_cmd =
     Term.(
       ret
         (const run $ scale_arg $ seed_arg $ csv_arg $ jobs_arg $ trace_arg
-       $ metrics_arg))
+       $ metrics_arg $ resilience_term))
 
 let main_cmd =
   let doc = "traffic-analysis countermeasure laboratory (Fu et al., ICPP 2003)" in
@@ -381,10 +501,19 @@ let () =
   | exception (Scenarios.Starvation.Tap_starved _ as e) ->
       (* Commit whatever trace the dying run buffered — a partial trace is
          the post-mortem — then report with the metrics snapshot instead
-         of an uncaught-exception backtrace. *)
+         of an uncaught-exception backtrace.  Only reachable in --strict
+         (or from unsupervised code paths): supervised sweeps contain the
+         failure and exit 4 instead. *)
       Obs.Trace.flush ();
       Format.eprintf "ta_lab: ";
       ignore (Scenarios.Starvation.pp_starved Format.err_formatter e : bool);
+      exit 3
+  | exception Desim.Sim.Event_budget_exceeded { max_events } ->
+      (* The strict-mode face of the event-budget watchdog: same
+         deterministic-failure contract as starvation. *)
+      Obs.Trace.flush ();
+      Format.eprintf "ta_lab: simulation exceeded the --event-budget (%d events)@."
+        max_events;
       exit 3
   | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
   (* Invalid CLI exits 2 across the repo (bench, talint, Arg-based

@@ -9,6 +9,10 @@ type t = {
      per event. *)
   mutable events_processed : int;
   mutable queue_hwm : int;
+  (* Watchdog limit on events_processed; [max_int] = unarmed.  Checked at
+     chunk granularity (entry/exit of [run_until]), never per event, so
+     arming it costs nothing on the hot path. *)
+  mutable budget_limit : int;
 }
 
 let create ?(start_time = 0.0) () =
@@ -17,13 +21,17 @@ let create ?(start_time = 0.0) () =
     queue = Event_queue.create ();
     events_processed = 0;
     queue_hwm = 0;
+    budget_limit = max_int;
   }
 
 let reset ?(start_time = 0.0) t =
   Event_queue.clear t.queue;
   t.clock <- start_time;
   t.events_processed <- 0;
-  t.queue_hwm <- 0
+  t.queue_hwm <- 0;
+  (* Budgets are per-run: arena reuse resets the simulator on acquire, so
+     a leaked budget could otherwise abort an unrelated run. *)
+  t.budget_limit <- max_int
 
 let now t = t.clock
 let pending t = Event_queue.size t.queue
@@ -107,8 +115,19 @@ let step t =
     true
   end
 
+exception Event_budget_exceeded of { max_events : int }
+
+let set_event_budget t ~max_events =
+  if max_events < 1 then invalid_arg "Sim.set_event_budget: max_events < 1";
+  t.budget_limit <- max_events
+
+let check_budget t =
+  if t.events_processed > t.budget_limit then
+    raise (Event_budget_exceeded { max_events = t.budget_limit })
+
 let run_until t ~time =
   if Float.is_nan time then invalid_arg "Sim.run_until: NaN time";
+  check_budget t;
   let q = t.queue in
   (* Open-coded [step] on the allocation-free queue primitives: per event
      the loop performs one min_time read, one pop and the callback — no
@@ -127,9 +146,8 @@ let run_until t ~time =
       end
     end
   done;
-  if time > t.clock then t.clock <- time
-
-exception Event_budget_exceeded of { max_events : int }
+  if time > t.clock then t.clock <- time;
+  check_budget t
 
 let run_all ?(max_events = 100_000_000) t =
   let count = ref 0 in

@@ -78,11 +78,24 @@ val every :
 
 val run_until : t -> time:float -> unit
 (** Execute all events with timestamp <= [time]; afterwards [now] = [time].
-    Callbacks may schedule more events, including at the current instant. *)
+    Callbacks may schedule more events, including at the current instant.
+    If an event budget is armed (see {!set_event_budget}) and
+    [events_processed] has exceeded it, raises {!Event_budget_exceeded} —
+    checked on entry and after the drain, never per event, so the watchdog
+    has chunk granularity and zero hot-path cost. *)
 
 exception Event_budget_exceeded of { max_events : int }
-(** Raised by {!run_all} when the event budget is exhausted — the
-    runaway-self-scheduling guard. *)
+(** Raised by {!run_all} and by {!run_until} (when armed via
+    {!set_event_budget}) once the event budget is exhausted — the
+    runaway-self-scheduling / poison-sweep-point guard. *)
+
+val set_event_budget : t -> max_events:int -> unit
+(** Arm the per-run watchdog: subsequent {!run_until} calls raise
+    {!Event_budget_exceeded} once [events_processed] exceeds
+    [max_events].  The budget is cleared by {!reset} (simulators are
+    arena-reused across runs, so budgets never leak between runs) and is
+    measured against events since creation, the last {!reset} or the last
+    {!publish_metrics}.  Raises [Invalid_argument] if [max_events < 1]. *)
 
 val run_all : ?max_events:int -> t -> unit
 (** Drain the queue completely; [max_events] (default 100 million) guards

@@ -1,0 +1,28 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320): the checksum
+   guarding ta-ckpt/1 journal lines.  Table-driven, one byte per step —
+   journals are a few KB per sweep, so simplicity beats throughput. *)
+
+let poly = 0xEDB88320
+
+let table =
+  (* talint: allow R001 — CRC lookup table, written once at init, read-only after *)
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then poly lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
+
+let update crc s =
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch ->
+      c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+let string s = update 0 s
+
+let to_hex crc = Printf.sprintf "%08x" (crc land 0xFFFFFFFF)
+
+let hex_of_string s = to_hex (string s)

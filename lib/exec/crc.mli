@@ -1,0 +1,18 @@
+(** CRC-32 (IEEE 802.3) checksums for the [ta-ckpt/1] checkpoint journal.
+
+    A torn or bit-flipped journal line must be detectable so that
+    {!Journal} can truncate the corrupt tail and recover; CRC-32 is cheap,
+    dependency-free and more than strong enough for a local append-only
+    file. *)
+
+val string : string -> int
+(** CRC-32 of the whole string, in [0, 0xFFFFFFFF]. *)
+
+val update : int -> string -> int
+(** Incremental form: [update (string a) b = string (a ^ b)]. *)
+
+val to_hex : int -> string
+(** Fixed-width lowercase hex ("%08x"). *)
+
+val hex_of_string : string -> string
+(** [to_hex (string s)]. *)

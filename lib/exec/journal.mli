@@ -1,0 +1,88 @@
+(** [ta-ckpt/1] checkpoint journal: crash-tolerant record of completed
+    sweep points.
+
+    One JSONL file per sweep.  The first line is a header binding the
+    journal to a sweep name and a config digest; every further line is
+    one completed sweep point.  Each line carries a CRC-32 of its own
+    content as the last field, and appends are flushed per record, so at
+    any instant — including the instant a SIGKILL lands — the file is a
+    checksummed prefix of the run plus at most one torn line.
+
+    {!open_} validates the whole file: a header that does not match the
+    requested sweep/digest discards the journal (the recorded points
+    answer a different question); a corrupt record line truncates the
+    tail from that point on.  What remains is replayed into memory and
+    the validated prefix is rewritten, after which the journal accepts
+    new appends.
+
+    Line format (one JSON object per line; [crc] is always the last
+    field and covers every byte of the line before its own marker):
+    {v
+    {"schema":"ta-ckpt/1","sweep":NAME,"digest":MD5HEX,"crc":CRC32HEX}
+    {"point":I,"seed":"S","attempts":N,"status":"ok","payload":HEX,"crc":...}
+    {"point":I,"seed":"S","attempts":N,"status":"failed","error":MSG,"crc":...}
+    v}
+    Seeds are decimal strings because they are 62-bit integers and JSON
+    numbers are floats.  [payload] is the hex of the Marshal bytes of the
+    point's result; [failed] (deterministic declared failure) and
+    [quarantined] (retries exhausted) points carry an [error] string
+    instead.  Terminal statuses replay as-is on resume: failures are
+    deterministic, so a resumed table is byte-identical to an
+    uninterrupted one. *)
+
+val schema : string
+(** ["ta-ckpt/1"]. *)
+
+type status = Point_ok | Point_failed | Point_quarantined
+
+val status_to_string : status -> string
+(** ["ok"], ["failed"], ["quarantined"]. *)
+
+type entry = {
+  index : int;  (** sweep-point index, [0 <= index] *)
+  seed : int;  (** root seed the sweep ran under *)
+  attempts : int;  (** attempts consumed, >= 1 *)
+  status : status;
+  payload : string;  (** {!encode}d result for [Point_ok]; [""] otherwise *)
+  error : string;  (** diagnostic for failed/quarantined; [""] for ok *)
+}
+
+type recovery = {
+  replayed : int;  (** valid records loaded from the existing journal *)
+  dropped : int;  (** corrupt-tail lines truncated away *)
+  reset : bool;  (** existing journal discarded (header mismatch) *)
+}
+
+type t
+
+val open_ : dir:string -> sweep:string -> digest:string -> t
+(** Open (creating [dir] mkdir-p style if needed) the journal for [sweep]
+    under [dir], validating any existing file as described above.
+    Raises [Sys_error] on filesystem failure. *)
+
+val recovery : t -> recovery
+(** What {!open_} found. *)
+
+val path : t -> string
+
+val find : t -> int -> entry option
+(** Completed entry for a point index, if journaled. *)
+
+val count : t -> int
+
+val append : t -> entry -> unit
+(** Durably record one completed point (mutex-guarded, flushed before
+    returning — safe to call concurrently from pool workers). *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val encode : 'a -> string
+(** Marshal a point result for {!entry.payload}.  The value must be pure
+    data (no closures/custom blocks) — all sweep point records are. *)
+
+val decode : string -> 'a option
+(** Recover an {!encode}d value; [None] on structurally invalid bytes.
+    Type safety rests on the journal header's config digest — the digest
+    keys the payload layout to the sweep that wrote it, which is why
+    Marshal use is confined to this module (enforced by talint P001). *)

@@ -36,6 +36,10 @@ let all_rules =
       summary =
         "no module-level mutable state (ref/Hashtbl/Queue/Buffer/array \
          literals...) in lib/ outside lib/obs: it races under Exec.Pool" };
+    { id = "P001";
+      summary =
+        "no Marshal outside lib/exec: checkpoint payloads are only safe \
+         behind Exec.Journal's digest-keyed framing" };
     { id = "S001"; summary = "every lib/ module has a corresponding .mli" };
     { id = "S002";
       summary =
@@ -49,6 +53,7 @@ let d001_applies = function Lib sub -> sub <> "prng" | Bin | Bench -> false
 let d002_applies = function Lib sub -> sub <> "obs" | Bin -> true | Bench -> false
 let d003_applies = function Lib _ -> true | Bin | Bench -> false
 let r001_applies = function Lib sub -> sub <> "obs" | Bin | Bench -> false
+let p001_applies = function Lib sub -> sub <> "exec" | Bin | Bench -> true
 let s001_applies = function Lib _ -> true | Bin | Bench -> false
 let s002_applies = function Lib _ -> true | Bin | Bench -> false
 
@@ -132,6 +137,15 @@ let check input =
            "%s: libraries must not write to stdout; take a formatter or \
             emit through Obs"
            (dotted path));
+    (match path with
+    | "Marshal" :: _ when p001_applies input.role ->
+        add ~rule:"P001" ~loc
+          (Printf.sprintf
+             "%s: Marshal is not type-safe; checkpoint payloads go through \
+              Exec.Journal.encode/decode, whose journal header digest keys \
+              the payload layout to the sweep that wrote it"
+             (dotted path))
+    | _ -> ());
     if s002_applies input.role && path = [ "failwith" ] then
       add ~rule:"S002" ~loc
         "failwith in library code: raise a declared exception callers can \

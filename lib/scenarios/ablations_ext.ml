@@ -1,12 +1,27 @@
 let run_classifier_backends ?(scale = 1.0) ?(seed = 52_001) fmt =
   let n = 1000 in
   let windows = Stdlib.max 10 (int_of_float (40.0 *. scale)) in
-  let traces =
-    Workload.collect_pair ~base:{ System.default_config with System.seed }
-      ~piats:(n * windows)
+  (* One shared trace collection (skipped when every backend replays from
+     the journal); every backend then scores the same immutable traces
+     independently.  Each point payload carries [r_hat] so the table
+     title survives a full replay. *)
+  let traces_ref = ref None in
+  let prepare () =
+    traces_ref :=
+      Some
+        (Workload.collect_pair ~base:{ System.default_config with System.seed }
+           ~piats:(n * windows))
   in
-  let classes = Workload.classes traces in
+  let get_traces () =
+    match !traces_ref with
+    | Some t -> t
+    | None ->
+        raise
+          (Sweep.Sweep_internal_error
+             "classifier-backends: prepare did not collect traces")
+  in
   let single backend feature =
+    let classes = Workload.classes (get_traces ()) in
     let named_features =
       Array.map
         (fun (name, trace) ->
@@ -24,42 +39,60 @@ let run_classifier_backends ?(scale = 1.0) ?(seed = 52_001) fmt =
       { bin_width = Adversary.Feature.default_entropy_bin_width }
   in
   let spectral kind =
-    (Adversary.Spectral.estimate ~kind ~sample_size:n ~classes ())
+    (Adversary.Spectral.estimate ~kind ~sample_size:n
+       ~classes:(Workload.classes (get_traces ())) ())
       .Adversary.Detection.detection_rate
   in
-  (* Every backend scores the same (immutable) traces independently. *)
-  let rows =
-    Exec.Pool.parallel_map
-      (fun (name, score) -> (name, score ()))
-      [
-        ( "kde/variance",
-          fun () -> single `Kde Adversary.Feature.Sample_variance );
-        ("kde/entropy", fun () -> single `Kde entropy);
-        ( "gaussian/variance",
-          fun () -> single `Gaussian Adversary.Feature.Sample_variance );
-        ("gaussian/entropy", fun () -> single `Gaussian entropy);
-        ( "joint kde (var+entropy)",
-          fun () ->
-            Adversary.Joint.estimate
-              ~features:[ Adversary.Feature.Sample_variance; entropy ]
-              ~reference:Calibration.timer_mean ~sample_size:n ~classes () );
-        ( "spectral entropy",
-          fun () -> spectral Adversary.Spectral.Spectral_entropy );
-        ("spectral power", fun () -> spectral Adversary.Spectral.Spectral_power);
-      ]
+  let backends =
+    [
+      ("kde/variance", fun () -> single `Kde Adversary.Feature.Sample_variance);
+      ("kde/entropy", fun () -> single `Kde entropy);
+      ( "gaussian/variance",
+        fun () -> single `Gaussian Adversary.Feature.Sample_variance );
+      ("gaussian/entropy", fun () -> single `Gaussian entropy);
+      ( "joint kde (var+entropy)",
+        fun () ->
+          Adversary.Joint.estimate
+            ~features:[ Adversary.Feature.Sample_variance; entropy ]
+            ~reference:Calibration.timer_mean ~sample_size:n
+            ~classes:(Workload.classes (get_traces ())) () );
+      ("spectral entropy", fun () -> spectral Adversary.Spectral.Spectral_entropy);
+      ("spectral power", fun () -> spectral Adversary.Spectral.Spectral_power);
+    ]
   in
+  let digest =
+    Sweep.digest_of_string
+      (Printf.sprintf "ablations.backends|seed=%d|n=%d|w=%d|points=%s" seed n
+         windows
+         (String.concat "," (List.map fst backends)))
+  in
+  let cells =
+    Sweep.mapi ~sweep:"ablations.backends" ~digest ~seed ~prepare
+      ~task:(fun ~attempt:_ _i (name, score) ->
+        (name, score (), (get_traces ()).Workload.r_hat))
+      backends
+  in
+  let r_hat =
+    match Sweep.ok_values cells with (_, _, r) :: _ -> r | [] -> Float.nan
+  in
+  let rows = List.map (fun (name, v, _) -> (name, v)) (Sweep.ok_values cells) in
   let table =
     Table.create
       ~title:
         (Printf.sprintf
            "Ablation: adversary backends on the same CIT traces (n=%d, \
             r_hat=%.3f)"
-           n traces.Workload.r_hat)
+           n r_hat)
       ~columns:[ "adversary"; "detection rate" ]
   in
   List.iter
     (fun (name, v) -> Table.add_row table [ name; Printf.sprintf "%.3f" v ])
     rows;
+  List.iter2
+    (fun (name, _) (c : _ Sweep.cell) ->
+      if c.Sweep.status <> Sweep.Point_ok then
+        Table.add_row ~status:(Sweep.row_status c) table [ name; "-" ])
+    backends cells;
   Table.print table fmt;
   rows
 
@@ -74,9 +107,16 @@ let run_mix_vs_padding ?(scale = 1.0) ?(seed = 52_002) fmt =
       ("mix(K=8,500ms)", `Mix);
     ]
   in
-  let rows =
-    Exec.Pool.parallel_mapi
-      (fun i (name, scheme) ->
+  let digest =
+    Sweep.digest_of_string
+      (Printf.sprintf "ablations.mix|seed=%d|n=%d|piats=%d|points=%s" seed n
+         piats
+         (String.concat "," (List.map fst schemes)))
+  in
+  let cells =
+    Sweep.mapi ~sweep:"ablations.mix" ~digest ~seed
+      ~task:(fun ~attempt i (name, scheme) ->
+        let root = Sweep.attempt_seed ~seed:(seed + (100 * i)) ~attempt in
         let run rate seed =
           let cfg =
             {
@@ -86,9 +126,9 @@ let run_mix_vs_padding ?(scale = 1.0) ?(seed = 52_002) fmt =
             }
           in
           match scheme with
-          | `Cit -> Trace_cache.run cfg ~piats
+          | `Cit -> System.run cfg ~piats
           | `Vit sigma ->
-              Trace_cache.run
+              System.run
                 {
                   cfg with
                   System.timer =
@@ -100,8 +140,8 @@ let run_mix_vs_padding ?(scale = 1.0) ?(seed = 52_002) fmt =
         in
         let low, high =
           Exec.Pool.both
-            (fun () -> run Calibration.rate_low_pps (seed + (100 * i)))
-            (fun () -> run Calibration.rate_high_pps (seed + (100 * i) + 7919))
+            (fun () -> run Calibration.rate_low_pps root)
+            (fun () -> run Calibration.rate_high_pps (root + 7919))
         in
         let classes =
           [|
@@ -123,6 +163,7 @@ let run_mix_vs_padding ?(scale = 1.0) ?(seed = 52_002) fmt =
         (name, worst, 0.5 *. (low.System.overhead +. high.System.overhead)))
       schemes
   in
+  let rows = Sweep.ok_values cells in
   let table =
     Table.create
       ~title:"Ablation: mixing vs padding as rate-hiding (n=200)"
@@ -133,6 +174,11 @@ let run_mix_vs_padding ?(scale = 1.0) ?(seed = 52_002) fmt =
       Table.add_row table
         [ name; Printf.sprintf "%.3f" worst; Printf.sprintf "%.3f" overhead ])
     rows;
+  List.iter2
+    (fun (name, _) (c : _ Sweep.cell) ->
+      if c.Sweep.status <> Sweep.Point_ok then
+        Table.add_row ~status:(Sweep.row_status c) table [ name; "-"; "-" ])
+    schemes cells;
   Table.print table fmt;
   rows
 
@@ -280,26 +326,33 @@ let run_size_padding ?(seed = 52_004) fmt =
 
 let run_qos_table ?(seed = 52_003) fmt =
   let payload_rate = Calibration.rate_high_pps in
-  let rows =
-    Exec.Pool.parallel_mapi
-      (fun i timer_rate ->
+  let timer_rates = [ 50.0; 80.0; 100.0; 200.0; 400.0 ] in
+  let digest =
+    Sweep.digest_of_string
+      (Printf.sprintf "ablations.qos|seed=%d|pps=%h|points=%s" seed payload_rate
+         (String.concat "," (List.map (Printf.sprintf "%h") timer_rates)))
+  in
+  let cells =
+    Sweep.mapi ~sweep:"ablations.qos" ~digest ~seed
+      ~task:(fun ~attempt i timer_rate ->
         let timer_mean = 1.0 /. timer_rate in
         let analytic =
           Padding.Qos.mean_delay ~payload_rate_pps:payload_rate ~timer_mean
         in
         let res =
-          Trace_cache.run
+          System.run
             {
               System.default_config with
-              System.seed = seed + i;
+              System.seed = Sweep.attempt_seed ~seed:(seed + i) ~attempt;
               payload_rate_pps = payload_rate;
               timer = Padding.Timer.Constant timer_mean;
             }
             ~piats:20_000
         in
         (timer_rate, analytic, res.System.mean_payload_latency))
-      [ 50.0; 80.0; 100.0; 200.0; 400.0 ]
+      timer_rates
   in
+  let rows = Sweep.ok_values cells in
   let table =
     Table.create
       ~title:
@@ -326,5 +379,11 @@ let run_qos_table ?(seed = 52_003) fmt =
                ~timer_mean:(1.0 /. rate));
         ])
     rows;
+  List.iter2
+    (fun rate (c : _ Sweep.cell) ->
+      if c.Sweep.status <> Sweep.Point_ok then
+        Table.add_row ~status:(Sweep.row_status c) table
+          [ Printf.sprintf "%.0f" rate; "-"; "-"; "-"; "-" ])
+    timer_rates cells;
   Table.print table fmt;
   rows

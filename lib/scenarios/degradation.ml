@@ -109,6 +109,7 @@ let run_faulty cfg ~piats =
   @@ fun () ->
   let p = cfg.profile in
   let sim = Desim.Sim.create () in
+  System.arm_event_budget sim;
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
   let rng_gateway = Prng.Rng.split root in
@@ -310,36 +311,50 @@ let run ?(scale = 1.0) ?(seed = 47_000) ?csv_dir
           "lost(down)"; "crashes";
         ]
   in
+  let digest =
+    Sweep.digest_of_string
+      (Printf.sprintf "degradation|seed=%d|n=%d|piats=%d|points=%s" seed
+         sample_size piats
+         (String.concat "," (List.map (Printf.sprintf "%h") intensities)))
+  in
   (* Intensities are seeded by index, hence independent: evaluate them in
-     parallel, then fill the table in sweep order. *)
-  let points =
-    Exec.Pool.parallel_mapi
-      (fun i x ->
-        evaluate ~piats ~sample_size ~seed:(seed + i)
+     parallel, then fill the table in sweep order.  Intensity 1.0 is a
+     designed blackout — under supervision it lands as a [failed] row
+     (tap starved) instead of aborting the whole sweep. *)
+  let cells =
+    Sweep.mapi ~sweep:"degradation" ~digest ~seed
+      ~task:(fun ~attempt i x ->
+        evaluate ~piats ~sample_size
+          ~seed:(Sweep.attempt_seed ~seed:(seed + i) ~attempt)
           ~profile:(profile_of_intensity x) ~intensity:x ())
       intensities
   in
-  List.iter
-    (fun p ->
-      Table.add_row table
-        [
-          Printf.sprintf "%.2f" p.intensity;
-          Table.fcell p.v_mean;
-          Table.fcell p.v_variance;
-          Table.fcell p.v_entropy;
-          Table.fcell p.v_gap;
-          Table.fcell p.gap_fraction;
-          Table.fcell p.overhead;
-          Printf.sprintf "%.3f" (p.mean_latency *. 1e3);
-          Table.fcell p.delivered_frac;
-          string_of_int p.dropped_gw;
-          string_of_int p.lost_wire;
-          string_of_int p.lost_down;
-          string_of_int p.crashes;
-        ])
-    points;
+  List.iter2
+    (fun x (c : _ Sweep.cell) ->
+      match c.Sweep.value with
+      | Some p ->
+          Table.add_row table
+            [
+              Printf.sprintf "%.2f" p.intensity;
+              Table.fcell p.v_mean;
+              Table.fcell p.v_variance;
+              Table.fcell p.v_entropy;
+              Table.fcell p.v_gap;
+              Table.fcell p.gap_fraction;
+              Table.fcell p.overhead;
+              Printf.sprintf "%.3f" (p.mean_latency *. 1e3);
+              Table.fcell p.delivered_frac;
+              string_of_int p.dropped_gw;
+              string_of_int p.lost_wire;
+              string_of_int p.lost_down;
+              string_of_int p.crashes;
+            ]
+      | None ->
+          Table.add_row ~status:(Sweep.row_status c) table
+            (Printf.sprintf "%.2f" x :: List.init 12 (fun _ -> "-")))
+    intensities cells;
   Table.print table fmt;
   (match csv_dir with
   | Some dir -> Table.save_csv table ~path:(Filename.concat dir "degradation.csv")
   | None -> ());
-  points
+  Sweep.ok_values cells

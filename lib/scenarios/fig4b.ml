@@ -16,20 +16,43 @@ let run ?(scale = 1.0) ?(seed = 42_002) ?(sample_sizes = default_sample_sizes)
     | None -> { System.default_config with System.seed }
     | Some jitter -> { System.default_config with System.seed; jitter }
   in
-  let traces =
-    Obs.span "fig4b.collect" (fun () ->
-        Workload.collect_pair ~base ~piats:(max_n * windows))
+  let digest =
+    Sweep.digest_of_string
+      (Printf.sprintf "fig4b|seed=%d|w=%d|jitter=%s|points=%s" seed windows
+         (* [Jitter.t] is abstract; callers wiring a custom jitter into a
+            checkpointed run must use a distinct checkpoint directory. *)
+         (match jitter with None -> "default" | Some _ -> "custom")
+         (String.concat "," (List.map string_of_int sample_sizes)))
   in
-  (* Scoring is pure (no RNG): each sample size can be scored in parallel
-     without affecting the result. *)
-  let rows =
+  (* The trace pair is shared by every sample size: collect it once in
+     [prepare], which the runner skips when all points replay from the
+     journal.  Scoring is pure (no RNG): each sample size can be scored
+     in parallel without affecting the result.  Each point's payload
+     carries [r_hat] so the table title survives a full replay. *)
+  let traces_ref = ref None in
+  let prepare () =
+    traces_ref :=
+      Some
+        (Obs.span "fig4b.collect" (fun () ->
+             Workload.collect_pair ~base ~piats:(max_n * windows)))
+  in
+  let cells =
     Obs.span "fig4b.score" (fun () ->
-        List.concat
-          (Exec.Pool.parallel_map
-             (fun n ->
-               Workload.score traces ~features:Adversary.Feature.standard_set
-                 ~sample_size:n)
-             sample_sizes))
+        Sweep.mapi ~sweep:"fig4b" ~digest ~seed ~prepare
+          ~task:(fun ~attempt:_ _i n ->
+            match !traces_ref with
+            | None ->
+                raise
+                  (Sweep.Sweep_internal_error
+                     "fig4b: prepare did not collect traces")
+            | Some traces ->
+                ( traces.Workload.r_hat,
+                  Workload.score traces
+                    ~features:Adversary.Feature.standard_set ~sample_size:n ))
+          sample_sizes)
+  in
+  let r_hat =
+    match Sweep.ok_values cells with (r, _) :: _ -> r | [] -> Float.nan
   in
   let table =
     Table.create
@@ -37,22 +60,30 @@ let run ?(scale = 1.0) ?(seed = 42_002) ?(sample_sizes = default_sample_sizes)
         (Printf.sprintf
            "Fig 4(b): detection rate vs sample size (CIT, no cross traffic, \
             r_hat=%.3f)"
-           traces.Workload.r_hat)
+           r_hat)
       ~columns:[ "n"; "feature"; "empirical"; "95% CI"; "theory" ]
   in
-  List.iter
-    (fun (s : Workload.scored) ->
-      Table.add_row table
-        [
-          string_of_int s.sample_size;
-          Adversary.Feature.name s.feature;
-          Printf.sprintf "%.3f" s.empirical;
-          Workload.pp_ci s;
-          Printf.sprintf "%.3f" s.theory;
-        ])
-    rows;
+  List.iter2
+    (fun n (c : _ Sweep.cell) ->
+      match c.Sweep.value with
+      | Some (_, scores) ->
+          List.iter
+            (fun (s : Workload.scored) ->
+              Table.add_row table
+                [
+                  string_of_int s.sample_size;
+                  Adversary.Feature.name s.feature;
+                  Printf.sprintf "%.3f" s.empirical;
+                  Workload.pp_ci s;
+                  Printf.sprintf "%.3f" s.theory;
+                ])
+            scores
+      | None ->
+          Table.add_row ~status:(Sweep.row_status c) table
+            [ string_of_int n; "-"; "-"; "-"; "-" ])
+    sample_sizes cells;
   Table.print table fmt;
   (match csv_dir with
   | Some dir -> Table.save_csv table ~path:(Filename.concat dir "fig4b.csv")
   | None -> ());
-  { r_hat = traces.Workload.r_hat; rows }
+  { r_hat; rows = List.concat_map snd (Sweep.ok_values cells) }

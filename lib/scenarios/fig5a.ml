@@ -29,14 +29,35 @@ let run ?(scale = 1.0) ?(seed = 42_003) ?(sample_size = 2000)
          ~sigma_gw_high:calibration.Calibration.sigma_high ())
   in
   let features = Adversary.Feature.standard_set in
+  (* The journal key fingerprints every input that determines point
+     values, including the (possibly caller-supplied) interval law. *)
+  let law_tag sigma_t =
+    let l = law ~sigma_t in
+    let tag =
+      match l with
+      | Padding.Timer.Constant _ -> "c"
+      | Normal _ -> "n"
+      | Uniform _ -> "u"
+      | Exponential _ -> "e"
+    in
+    Printf.sprintf "%s:%h:%h" tag (Padding.Timer.mean l) (Padding.Timer.sigma l)
+  in
+  let digest =
+    Sweep.digest_of_string
+      (Printf.sprintf "fig5a|seed=%d|n=%d|w=%d|points=%s" seed sample_size
+         windows
+         (String.concat ","
+            (List.map (fun s -> Printf.sprintf "%h=%s" s (law_tag s)) sigma_ts)))
+  in
   (* Sweep points are seeded by index, hence independent: fan them out. *)
-  let points =
-    Exec.Pool.parallel_mapi
-      (fun i sigma_t ->
+  let cells =
+    Sweep.mapi ~sweep:"fig5a" ~digest ~seed
+      ~task:(fun ~attempt i sigma_t ->
         let base =
           {
             System.default_config with
-            System.seed = seed + (100 * i);
+            System.seed =
+              Sweep.attempt_seed ~seed:(seed + (100 * i)) ~attempt;
             timer = law ~sigma_t;
           }
         in
@@ -61,24 +82,29 @@ let run ?(scale = 1.0) ?(seed = 42_003) ?(sample_size = 2000)
       ~columns:
         [ "sigma_T(us)"; "r_hat"; "r_pred"; "feature"; "empirical"; "95% CI"; "theory" ]
   in
-  List.iter
-    (fun p ->
-      List.iter
-        (fun (s : Workload.scored) ->
-          Table.add_row table
-            [
-              Printf.sprintf "%.1f" (p.sigma_t *. 1e6);
-              Printf.sprintf "%.4f" p.r_hat;
-              Printf.sprintf "%.4f" p.r_predicted;
-              Adversary.Feature.name s.feature;
-              Printf.sprintf "%.3f" s.empirical;
-              Workload.pp_ci s;
-              Printf.sprintf "%.3f" s.theory;
-            ])
-        p.scores)
-    points;
+  List.iter2
+    (fun sigma_t (c : _ Sweep.cell) ->
+      match c.Sweep.value with
+      | Some p ->
+          List.iter
+            (fun (s : Workload.scored) ->
+              Table.add_row table
+                [
+                  Printf.sprintf "%.1f" (p.sigma_t *. 1e6);
+                  Printf.sprintf "%.4f" p.r_hat;
+                  Printf.sprintf "%.4f" p.r_predicted;
+                  Adversary.Feature.name s.feature;
+                  Printf.sprintf "%.3f" s.empirical;
+                  Workload.pp_ci s;
+                  Printf.sprintf "%.3f" s.theory;
+                ])
+            p.scores
+      | None ->
+          Table.add_row ~status:(Sweep.row_status c) table
+            [ Printf.sprintf "%.1f" (sigma_t *. 1e6); "-"; "-"; "-"; "-"; "-"; "-" ])
+    sigma_ts cells;
   Table.print table fmt;
   (match csv_dir with
   | Some dir -> Table.save_csv table ~path:(Filename.concat dir "fig5a.csv")
   | None -> ());
-  { sample_size; calibration; points }
+  { sample_size; calibration; points = Sweep.ok_values cells }

@@ -38,15 +38,27 @@ let run ?(scale = 1.0) ?(seed = 42_005) ?(sample_size = 1000)
   if sample_size < 2 then invalid_arg "Fig6.run: sample_size < 2";
   let windows = Stdlib.max 6 (int_of_float (40.0 *. scale)) in
   let features = Adversary.Feature.standard_set in
+  let digest =
+    Sweep.digest_of_string
+      (Printf.sprintf "fig6|seed=%d|n=%d|w=%d|burst=%s|points=%s" seed
+         sample_size windows
+         (match burst with
+         | `Poisson -> "poisson"
+         | `On_off (a, b, c) ->
+             Printf.sprintf "onoff:%h:%h:%s" a b
+               (match c with None -> "-" | Some x -> Printf.sprintf "%h" x))
+         (String.concat "," (List.map (Printf.sprintf "%h") utilizations)))
+  in
   (* Sweep points are seeded by index, hence independent: fan them out. *)
-  let points =
-    Exec.Pool.parallel_mapi
-      (fun i utilization ->
+  let cells =
+    Sweep.mapi ~sweep:"fig6" ~digest ~seed
+      ~task:(fun ~attempt i utilization ->
         let hop = hop_for_utilization ~utilization ~burst in
         let base =
           {
             System.default_config with
-            System.seed = seed + (100 * i);
+            System.seed =
+              Sweep.attempt_seed ~seed:(seed + (100 * i)) ~attempt;
             hops = [| hop |];
             tap_position = 1;
           }
@@ -83,24 +95,29 @@ let run ?(scale = 1.0) ?(seed = 42_005) ?(sample_size = 1000)
       ~columns:
         [ "util"; "sigma_l(us)"; "r_hat"; "feature"; "empirical"; "95% CI"; "theory" ]
   in
-  List.iter
-    (fun p ->
-      List.iter
-        (fun (s : Workload.scored) ->
-          Table.add_row table
-            [
-              Printf.sprintf "%.2f" p.utilization;
-              Printf.sprintf "%.2f" (p.sigma_low *. 1e6);
-              Printf.sprintf "%.4f" p.r_hat;
-              Adversary.Feature.name s.feature;
-              Printf.sprintf "%.3f" s.empirical;
-              Workload.pp_ci s;
-              Printf.sprintf "%.3f" s.theory;
-            ])
-        p.scores)
-    points;
+  List.iter2
+    (fun utilization (c : _ Sweep.cell) ->
+      match c.Sweep.value with
+      | Some p ->
+          List.iter
+            (fun (s : Workload.scored) ->
+              Table.add_row table
+                [
+                  Printf.sprintf "%.2f" p.utilization;
+                  Printf.sprintf "%.2f" (p.sigma_low *. 1e6);
+                  Printf.sprintf "%.4f" p.r_hat;
+                  Adversary.Feature.name s.feature;
+                  Printf.sprintf "%.3f" s.empirical;
+                  Workload.pp_ci s;
+                  Printf.sprintf "%.3f" s.theory;
+                ])
+            p.scores
+      | None ->
+          Table.add_row ~status:(Sweep.row_status c) table
+            [ Printf.sprintf "%.2f" utilization; "-"; "-"; "-"; "-"; "-"; "-" ])
+    utilizations cells;
   Table.print table fmt;
   (match csv_dir with
   | Some dir -> Table.save_csv table ~path:(Filename.concat dir "fig6.csv")
   | None -> ());
-  { sample_size; points }
+  { sample_size; points = Sweep.ok_values cells }

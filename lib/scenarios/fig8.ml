@@ -35,15 +35,23 @@ let run ?(scale = 1.0) ?(seed = 42_006) ?(sample_size = 1000)
   if sample_size < 2 then invalid_arg "Fig8.run: sample_size < 2";
   let windows = Stdlib.max 6 (int_of_float (16.0 *. scale)) in
   let features = Adversary.Feature.standard_set in
+  let sweep = Printf.sprintf "fig8.%s" (kind_name kind) in
+  let digest =
+    Sweep.digest_of_string
+      (Printf.sprintf "%s|seed=%d|n=%d|w=%d|points=%s" sweep seed sample_size
+         windows
+         (String.concat "," (List.map (Printf.sprintf "%h") hours)))
+  in
   (* Hours are seeded by index, hence independent: fan them out. *)
-  let points =
-    Exec.Pool.parallel_mapi
-      (fun i hour ->
+  let cells =
+    Sweep.mapi ~sweep ~digest ~seed
+      ~task:(fun ~attempt i hour ->
         let hops = hops_for kind ~hour in
         let base =
           {
             System.default_config with
-            System.seed = seed + (100 * i);
+            System.seed =
+              Sweep.attempt_seed ~seed:(seed + (100 * i)) ~attempt;
             hops;
             tap_position = Array.length hops;  (* front of receiver gateway *)
           }
@@ -73,26 +81,31 @@ let run ?(scale = 1.0) ?(seed = 42_006) ?(sample_size = 1000)
            (kind_name kind) sample_size)
       ~columns:[ "hour"; "util"; "r_hat"; "feature"; "empirical"; "95% CI"; "theory" ]
   in
-  List.iter
-    (fun p ->
-      List.iter
-        (fun (s : Workload.scored) ->
-          Table.add_row table
-            [
-              Printf.sprintf "%02.0f:00" p.hour;
-              Printf.sprintf "%.3f" p.utilization;
-              Printf.sprintf "%.4f" p.r_hat;
-              Adversary.Feature.name s.feature;
-              Printf.sprintf "%.3f" s.empirical;
-              Workload.pp_ci s;
-              Printf.sprintf "%.3f" s.theory;
-            ])
-        p.scores)
-    points;
+  List.iter2
+    (fun hour (c : _ Sweep.cell) ->
+      match c.Sweep.value with
+      | Some p ->
+          List.iter
+            (fun (s : Workload.scored) ->
+              Table.add_row table
+                [
+                  Printf.sprintf "%02.0f:00" p.hour;
+                  Printf.sprintf "%.3f" p.utilization;
+                  Printf.sprintf "%.4f" p.r_hat;
+                  Adversary.Feature.name s.feature;
+                  Printf.sprintf "%.3f" s.empirical;
+                  Workload.pp_ci s;
+                  Printf.sprintf "%.3f" s.theory;
+                ])
+            p.scores
+      | None ->
+          Table.add_row ~status:(Sweep.row_status c) table
+            [ Printf.sprintf "%02.0f:00" hour; "-"; "-"; "-"; "-"; "-"; "-" ])
+    hours cells;
   Table.print table fmt;
   (match csv_dir with
   | Some dir ->
       Table.save_csv table
         ~path:(Filename.concat dir (Printf.sprintf "fig8_%s.csv" (kind_name kind)))
   | None -> ());
-  { kind; sample_size; points }
+  { kind; sample_size; points = Sweep.ok_values cells }

@@ -10,58 +10,78 @@ let run ?(scale = 1.0) ?(seed = 42_007) ?(rates = [ 10.0; 20.0; 30.0; 40.0 ])
   if List.length rates < 2 then invalid_arg "Multirate.run: need >= 2 rates";
   if sample_size < 2 then invalid_arg "Multirate.run: sample_size < 2";
   let windows = Stdlib.max 6 (int_of_float (30.0 *. scale)) in
+  let digest =
+    Sweep.digest_of_string
+      (Printf.sprintf "multirate|seed=%d|n=%d|w=%d|points=%s" seed sample_size
+         windows
+         (String.concat "," (List.map (Printf.sprintf "%h") rates)))
+  in
   (* One independent (seeded-by-index) trace collection per rate. *)
-  let traces =
-    Exec.Pool.parallel_mapi
-      (fun i rate ->
+  let cells =
+    Sweep.mapi ~sweep:"multirate" ~digest ~seed
+      ~task:(fun ~attempt i rate ->
         let cfg =
           {
             System.default_config with
-            System.seed = seed + (100 * i);
+            System.seed =
+              Sweep.attempt_seed ~seed:(seed + (100 * i)) ~attempt;
             payload_rate_pps = rate;
           }
         in
-        let res = Trace_cache.run cfg ~piats:(sample_size * windows) in
+        let res = System.run cfg ~piats:(sample_size * windows) in
         (Printf.sprintf "%.0fpps" rate, res.System.piats))
       rates
   in
-  let classes = Array.of_list traces in
+  (* m-ary detection degrades gracefully: failed rate classes become
+     annotated rows and the classifier runs on the surviving classes
+     (needs at least two). *)
+  let classes = Array.of_list (Sweep.ok_values cells) in
+  let m = Array.length classes in
   let results =
-    List.map
-      (fun feature ->
-        let r =
-          Adversary.Detection.estimate ~feature
-            ~reference:Calibration.timer_mean ~sample_size ~classes ()
-        in
-        (feature, r.Adversary.Detection.detection_rate))
-      Adversary.Feature.standard_set
+    if m < 2 then []
+    else
+      List.map
+        (fun feature ->
+          let r =
+            Adversary.Detection.estimate ~feature
+              ~reference:Calibration.timer_mean ~sample_size ~classes ()
+          in
+          (feature, r.Adversary.Detection.detection_rate))
+        Adversary.Feature.standard_set
   in
   (* Confusion matrix for the variance feature. *)
-  let m = Array.length classes in
-  let feature = Adversary.Feature.Sample_variance in
-  let featurized =
-    Array.map
-      (fun (name, trace) ->
-        ( name,
-          Adversary.Dataset.features_of_trace feature
-            ~reference:Calibration.timer_mean ~sample_size trace ))
-      classes
+  let confusion =
+    if m < 2 then [||]
+    else begin
+      let feature = Adversary.Feature.Sample_variance in
+      let featurized =
+        Array.map
+          (fun (name, trace) ->
+            ( name,
+              Adversary.Dataset.features_of_trace feature
+                ~reference:Calibration.timer_mean ~sample_size trace ))
+          classes
+      in
+      let split =
+        Array.map (fun (_, fs) -> Adversary.Dataset.split_alternating fs) featurized
+      in
+      let clf =
+        Adversary.Classifier.train
+          ~classes:(Array.map2 (fun (n, _) (tr, _) -> (n, tr)) featurized split)
+          ()
+      in
+      let confusion = Array.make_matrix m m 0 in
+      Array.iteri
+        (fun truth (_, test) ->
+          Array.iter
+            (fun x ->
+              let d = Adversary.Classifier.classify clf x in
+              confusion.(truth).(d) <- confusion.(truth).(d) + 1)
+            test)
+        split;
+      confusion
+    end
   in
-  let split = Array.map (fun (_, fs) -> Adversary.Dataset.split_alternating fs) featurized in
-  let clf =
-    Adversary.Classifier.train
-      ~classes:(Array.map2 (fun (n, _) (tr, _) -> (n, tr)) featurized split)
-      ()
-  in
-  let confusion = Array.make_matrix m m 0 in
-  Array.iteri
-    (fun truth (_, test) ->
-      Array.iter
-        (fun x ->
-          let d = Adversary.Classifier.classify clf x in
-          confusion.(truth).(d) <- confusion.(truth).(d) + 1)
-        test)
-    split;
   let table =
     Table.create
       ~title:
@@ -82,33 +102,43 @@ let run ?(scale = 1.0) ?(seed = 42_007) ?(rates = [ 10.0; 20.0; 30.0; 40.0 ])
      the measured per-class PIAT variances (defined when they are strictly
      increasing with the rate, which the jitter mechanism guarantees up to
      sampling noise). *)
-  let sigma2s =
-    Array.map (fun (_, trace) -> Stats.Descriptive.variance trace) classes
-  in
-  let increasing =
-    Array.for_all Fun.id
-      (Array.init (m - 1) (fun i -> sigma2s.(i + 1) > sigma2s.(i)))
-  in
-  if increasing then
-    Table.add_row table
-      [
-        "variance (exact m-ary oracle)";
-        Printf.sprintf "%.3f"
-          (Analytical.Multirate.mary_variance_exact ~sigma2s ~n:sample_size);
-        Printf.sprintf "%.3f" (1.0 /. float_of_int m);
-      ];
+  (if m >= 2 then
+     let sigma2s =
+       Array.map (fun (_, trace) -> Stats.Descriptive.variance trace) classes
+     in
+     let increasing =
+       Array.for_all Fun.id
+         (Array.init (m - 1) (fun i -> sigma2s.(i + 1) > sigma2s.(i)))
+     in
+     if increasing then
+       Table.add_row table
+         [
+           "variance (exact m-ary oracle)";
+           Printf.sprintf "%.3f"
+             (Analytical.Multirate.mary_variance_exact ~sigma2s ~n:sample_size);
+           Printf.sprintf "%.3f" (1.0 /. float_of_int m);
+         ]);
+  List.iter2
+    (fun rate (c : _ Sweep.cell) ->
+      if c.Sweep.status <> Sweep.Point_ok then
+        Table.add_row ~status:(Sweep.row_status c) table
+          [ Printf.sprintf "class %.0fpps" rate; "-"; "-" ])
+    rates cells;
   Table.print table fmt;
-  let ctable =
-    Table.create ~title:"Confusion matrix (variance feature, rows = truth)"
-      ~columns:("truth\\decision" :: List.map (fun (n, _) -> n) (Array.to_list classes))
-  in
-  Array.iteri
-    (fun i row ->
-      let name, _ = classes.(i) in
-      Table.add_row ctable
-        (name :: Array.to_list (Array.map string_of_int row)))
-    confusion;
-  Table.print ctable fmt;
+  (if m >= 2 then begin
+     let ctable =
+       Table.create ~title:"Confusion matrix (variance feature, rows = truth)"
+         ~columns:
+           ("truth\\decision" :: List.map (fun (n, _) -> n) (Array.to_list classes))
+     in
+     Array.iteri
+       (fun i row ->
+         let name, _ = classes.(i) in
+         Table.add_row ctable
+           (name :: Array.to_list (Array.map string_of_int row)))
+       confusion;
+     Table.print ctable fmt
+   end);
   (match csv_dir with
   | Some dir -> Table.save_csv table ~path:(Filename.concat dir "multirate.csv")
   | None -> ());

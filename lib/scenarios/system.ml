@@ -68,6 +68,15 @@ let piats_of_timestamps ts =
   let n = Array.length ts in
   if n < 2 then [||] else Array.init (n - 1) (fun i -> ts.(i + 1) -. ts.(i))
 
+(* Supervision hook: when a sweep runner installed a per-task event
+   budget (Exec.Supervise.with_event_budget), arm the simulator's
+   watchdog so a pathological run raises Sim.Event_budget_exceeded
+   instead of spinning.  Arena reuse resets the budget on acquire. *)
+let arm_event_budget sim =
+  match Exec.Supervise.current_event_budget () with
+  | Some max_events -> Desim.Sim.set_event_budget sim ~max_events
+  | None -> ()
+
 let run ?(fresh_arena = false) cfg ~piats =
   validate cfg;
   if piats < 1 then invalid_arg "System.run: piats < 1";
@@ -76,6 +85,7 @@ let run ?(fresh_arena = false) cfg ~piats =
   @@ fun () ->
   let arena = Arena.get ~fresh:fresh_arena in
   let sim = arena.Arena.sim in
+  arm_event_budget sim;
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
   let rng_gateway = Prng.Rng.split root in
@@ -134,6 +144,7 @@ let run_mix ?(fresh_arena = false) ?(threshold = 8) ?(timeout = 0.5) cfg
   @@ fun () ->
   let arena = Arena.get ~fresh:fresh_arena in
   let sim = arena.Arena.sim in
+  arm_event_budget sim;
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
   let rng_gateway = Prng.Rng.split root in
@@ -191,6 +202,7 @@ let run_adaptive ?(fresh_arena = false) ?(min_period = 0.010)
   @@ fun () ->
   let arena = Arena.get ~fresh:fresh_arena in
   let sim = arena.Arena.sim in
+  arm_event_budget sim;
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
   let rng_gateway = Prng.Rng.split root in
@@ -247,6 +259,7 @@ let run_unpadded ?(fresh_arena = false) cfg ~packets =
   @@ fun () ->
   let arena = Arena.get ~fresh:fresh_arena in
   let sim = arena.Arena.sim in
+  arm_event_budget sim;
   let root = Prng.Rng.create ~seed:cfg.seed in
   let rng_payload = Prng.Rng.split root in
   let _rng_gateway = Prng.Rng.split root in

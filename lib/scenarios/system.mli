@@ -34,9 +34,18 @@ type result = {
   sim_time : float;             (** simulated seconds consumed *)
 }
 
+val arm_event_budget : Desim.Sim.t -> unit
+(** Install the per-task event budget published by the nearest enclosing
+    [Exec.Supervise.with_event_budget] (if any) on a simulator — the hook
+    through which {!Sweep}'s watchdog reaches every [run*] entry point,
+    including {!Degradation}'s fault-injected driver.  No-op when no
+    budget is installed. *)
+
 val run : ?fresh_arena:bool -> config -> piats:int -> result
 (** Simulate until the tap has recorded [piats] inter-arrival times beyond
-    the warm-up, then stop.  Deterministic in [config.seed].
+    the warm-up, then stop.  Raises [Desim.Sim.Event_budget_exceeded] if
+    a supervising sweep armed an event budget and the run overran it.
+    Deterministic in [config.seed].
     [piats >= 1].  By default the run recycles the calling domain's
     {!Arena} (simulator, tap vectors, gateway buffers) — observably
     identical to a fresh simulator but without re-growing storage on every

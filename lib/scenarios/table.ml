@@ -1,15 +1,17 @@
+type row_status = Row_ok | Row_failed of string | Row_quarantined of string
+
 type t = {
   title : string;
   columns : string list;
-  mutable rows : string list list;  (* reversed *)
+  mutable rows : (string list * row_status) list;  (* reversed *)
 }
 
 let create ~title ~columns = { title; columns; rows = [] }
 
-let add_row t row =
+let add_row ?(status = Row_ok) t row =
   if List.length row <> List.length t.columns then
     invalid_arg "Table.add_row: width mismatch";
-  t.rows <- row :: t.rows
+  t.rows <- (row, status) :: t.rows
 
 let fcell x =
   if Float.is_integer x && Float.abs x < 1e7 then
@@ -18,24 +20,40 @@ let fcell x =
     Printf.sprintf "%.3e" x
   else Printf.sprintf "%.4f" x
 
-let rows_in_order t = List.rev t.rows
+let status_cell = function
+  | Row_ok -> "ok"
+  | Row_failed msg -> if msg = "" then "failed" else "failed: " ^ msg
+  | Row_quarantined msg ->
+      if msg = "" then "quarantined" else "quarantined: " ^ msg
+
+let has_failures t =
+  List.exists (fun (_, status) -> status <> Row_ok) t.rows
+
+(* The status column materializes only when some row is not ok, so clean
+   runs render/serialize exactly as they did before tables learned about
+   partial results. *)
+let effective t =
+  if has_failures t then
+    ( t.columns @ [ "status" ],
+      List.rev_map (fun (row, status) -> row @ [ status_cell status ]) t.rows )
+  else (t.columns, List.rev_map fst t.rows)
 
 let print t fmt =
-  let rows = rows_in_order t in
+  let columns, rows = effective t in
   let widths =
     List.mapi
       (fun i col ->
         List.fold_left
           (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
           (String.length col) rows)
-      t.columns
+      columns
   in
   let pad s w = s ^ String.make (w - String.length s) ' ' in
   let render_row cells =
     String.concat "  " (List.map2 pad cells widths)
   in
   Format.fprintf fmt "@.%s@." t.title;
-  let header = render_row t.columns in
+  let header = render_row columns in
   Format.fprintf fmt "%s@." header;
   Format.fprintf fmt "%s@." (String.make (String.length header) '-');
   List.iter (fun row -> Format.fprintf fmt "%s@." (render_row row)) rows
@@ -46,8 +64,9 @@ let quote_cell s =
   else s
 
 let to_csv t =
+  let columns, rows = effective t in
   let line cells = String.concat "," (List.map quote_cell cells) in
-  String.concat "\n" (line t.columns :: List.map line (rows_in_order t)) ^ "\n"
+  String.concat "\n" (line columns :: List.map line rows) ^ "\n"
 
 let rec mkdir_p dir =
   if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()

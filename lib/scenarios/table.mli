@@ -2,10 +2,22 @@
 
 type t
 
+type row_status =
+  | Row_ok
+  | Row_failed of string  (** declared deterministic failure + diagnostic *)
+  | Row_quarantined of string  (** retries exhausted + diagnostic *)
+
 val create : title:string -> columns:string list -> t
 
-val add_row : t -> string list -> unit
-(** Raises [Invalid_argument] if the row width differs from the header. *)
+val add_row : ?status:row_status -> t -> string list -> unit
+(** Add a row (default status {!Row_ok}).  Raises [Invalid_argument] if
+    the row width differs from the header.  When at least one row is not
+    ok, {!print} and {!to_csv} append a trailing [status] column carrying
+    the per-row annotation — tables of fully successful runs render
+    byte-identically to tables that never heard of statuses. *)
+
+val has_failures : t -> bool
+(** True when some row carries a non-ok status. *)
 
 val fcell : float -> string
 (** Default float formatting ("%.4g"); scientific when warranted. *)

@@ -8,9 +8,7 @@ type traces = {
 
 let collect_pair ~base ~piats =
   (* The two classes have disjoint derived seeds, so they are independent
-     simulations; run them concurrently when a pool worker is free.  Each
-     goes through the memo cache so a figure re-collecting an identical
-     (config, piats) pair shares the earlier run. *)
+     simulations; run them concurrently when a pool worker is free. *)
   let low_cfg = { base with System.payload_rate_pps = Calibration.rate_low_pps } in
   let high_cfg =
     {
@@ -21,8 +19,8 @@ let collect_pair ~base ~piats =
   in
   let low, high =
     Exec.Pool.both
-      (fun () -> Trace_cache.run low_cfg ~piats)
-      (fun () -> Trace_cache.run high_cfg ~piats)
+      (fun () -> System.run low_cfg ~piats)
+      (fun () -> System.run high_cfg ~piats)
   in
   let var_low = Stats.Descriptive.variance low.System.piats in
   let var_high = Stats.Descriptive.variance high.System.piats in

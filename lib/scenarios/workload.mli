@@ -14,9 +14,9 @@ type traces = {
 val collect_pair : base:System.config -> piats:int -> traces
 (** Run [base] at the calibration low and high payload rates (distinct
     derived seeds) until each yields [piats] inter-arrival times.  The two
-    collections run concurrently when {!Exec.Pool} has a free worker and
-    are memoized through {!Trace_cache}; both are transparent — the
-    result is bit-identical to the sequential, uncached computation. *)
+    collections run concurrently when {!Exec.Pool} has a free worker;
+    parallelism is transparent — the result is bit-identical to the
+    sequential computation. *)
 
 val classes : traces -> (string * float array) array
 (** Labeled PIAT traces in (low, high) order, for {!Adversary.Detection}. *)

@@ -1,0 +1,2 @@
+(* P001 positive: ad-hoc Marshal outside lib/exec. *)
+let save v = Marshal.to_string v []

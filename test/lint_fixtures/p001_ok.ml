@@ -1,0 +1,2 @@
+(* P001 negative: checkpoint payloads go through the journal codec. *)
+let save v = Exec.Journal.encode v

@@ -55,10 +55,6 @@ let test_combinators_match_sequential () =
 
 let fig4b_output jobs =
   with_jobs jobs (fun () ->
-      (* Clear the memo cache so every run truly re-simulates — otherwise
-         the second run would trivially reuse the first one's traces and
-         the test would not exercise parallel recomputation. *)
-      Scenarios.Trace_cache.clear ();
       let buf = Buffer.create 4096 in
       let fmt = Format.formatter_of_buffer buf in
       let t =
@@ -181,65 +177,17 @@ let test_seed_derivation_order_independent () =
     (Invalid_argument "Exec.Seed.derive: index < 0") (fun () ->
       ignore (Exec.Seed.derive ~root ~index:(-1)))
 
-(* --- trace memo cache: repeated identical collections share one run --- *)
+(* --- repeated identical collections recompute identically --- *)
 
-let test_trace_cache_shares_identical_runs () =
-  Scenarios.Trace_cache.clear ();
+let test_collect_pair_repeatable () =
   let base = { Scenarios.System.default_config with Scenarios.System.seed = 5_551 } in
   let t1 = Scenarios.Workload.collect_pair ~base ~piats:600 in
-  let stats1 = Scenarios.Trace_cache.stats () in
-  Alcotest.(check int) "two misses on first collection" 2
-    stats1.Scenarios.Trace_cache.misses;
   let t2 = Scenarios.Workload.collect_pair ~base ~piats:600 in
-  let stats2 = Scenarios.Trace_cache.stats () in
-  Alcotest.(check int) "no new misses on identical collection" 2
-    stats2.Scenarios.Trace_cache.misses;
-  Alcotest.(check int) "two hits on identical collection" 2
-    stats2.Scenarios.Trace_cache.hits;
   Alcotest.(check (float 0.0)) "identical r_hat" t1.Scenarios.Workload.r_hat
     t2.Scenarios.Workload.r_hat;
-  (* A different seed is a different key. *)
-  let other =
-    { Scenarios.System.default_config with Scenarios.System.seed = 5_552 }
-  in
-  ignore (Scenarios.Workload.collect_pair ~base:other ~piats:600);
-  let stats3 = Scenarios.Trace_cache.stats () in
-  Alcotest.(check int) "different config misses" 4
-    stats3.Scenarios.Trace_cache.misses;
-  Scenarios.Trace_cache.clear ()
-
-let test_trace_cache_shards_and_eviction () =
-  Scenarios.Trace_cache.clear ();
-  Scenarios.Trace_cache.set_capacity 4;
-  Fun.protect ~finally:(fun () ->
-      Scenarios.Trace_cache.set_capacity 32;
-      Scenarios.Trace_cache.clear ())
-  @@ fun () ->
-  (* More distinct keys than the capacity, spread across shards by the
-     key hash; eviction is FIFO per shard, so the most recent insert in
-     each shard survives. *)
-  let cfg i =
-    {
-      Scenarios.System.default_config with
-      Scenarios.System.seed = 7_000 + i;
-      warmup_piats = 5;
-    }
-  in
-  for i = 0 to 9 do
-    ignore (Scenarios.Trace_cache.run (cfg i) ~piats:10 : Scenarios.System.result)
-  done;
-  let s1 = Scenarios.Trace_cache.stats () in
-  Alcotest.(check int) "10 distinct keys miss" 10 s1.Scenarios.Trace_cache.misses;
-  Alcotest.(check int) "no hits yet" 0 s1.Scenarios.Trace_cache.hits;
-  (* The last-inserted key is the newest in its shard: retained. *)
-  ignore (Scenarios.Trace_cache.run (cfg 9) ~piats:10 : Scenarios.System.result);
-  let s2 = Scenarios.Trace_cache.stats () in
-  Alcotest.(check int) "newest key hits" 1 s2.Scenarios.Trace_cache.hits;
-  (* Capacity 0 disables caching entirely. *)
-  Scenarios.Trace_cache.set_capacity 0;
-  ignore (Scenarios.Trace_cache.run (cfg 9) ~piats:10 : Scenarios.System.result);
-  let s3 = Scenarios.Trace_cache.stats () in
-  Alcotest.(check int) "disabled cache misses" 11 s3.Scenarios.Trace_cache.misses
+  Alcotest.(check bool) "identical low piats" true
+    (t1.Scenarios.Workload.low.Scenarios.System.piats
+    = t2.Scenarios.Workload.low.Scenarios.System.piats)
 
 let test_set_default_jobs_validates () =
   Alcotest.check_raises "jobs < 1 rejected"
@@ -262,10 +210,8 @@ let suite =
       test_both_propagates_and_orders;
     Alcotest.test_case "seed derivation order-independent" `Quick
       test_seed_derivation_order_independent;
-    Alcotest.test_case "trace cache shares identical collections" `Slow
-      test_trace_cache_shares_identical_runs;
-    Alcotest.test_case "trace cache shards and eviction" `Slow
-      test_trace_cache_shards_and_eviction;
+    Alcotest.test_case "collect_pair recomputes identically" `Slow
+      test_collect_pair_repeatable;
     Alcotest.test_case "set_default_jobs validates" `Quick
       test_set_default_jobs_validates;
   ]

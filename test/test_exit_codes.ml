@@ -4,7 +4,10 @@
      1   tabench_diff found a performance regression
      2   invalid CLI (both the Cmdliner-based ta_lab and the Arg-based
          bench/talint/tabench_diff), or an unreadable/invalid report
-     3   Tap_starved — a diagnosed starvation report, never a backtrace
+     3   --strict: Tap_starved / event-budget — a diagnosed report,
+         never a backtrace
+     4   partial results — the supervisor contained per-point failures
+         and emitted annotated tables plus a ta-fail/1 manifest
 
    Locked down here because ta_lab once exited with Cmdliner's default
    124 on bad flags while bench exited 2, and bench let Tap_starved
@@ -67,24 +70,60 @@ let test_bench_invalid_cli () =
       ignore (check_code exe "--check-trace --no-micro" 2 : string);
       ignore (check_code exe "--no-such-flag" 2 : string)
 
-let test_bench_starved_exit_3 () =
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_bench_starved_exits () =
   match bench () with
   | None -> Alcotest.skip ()
   | Some exe ->
+      (* Default supervised run: the blackout point fails, the rest of
+         the table survives, and bench reports partial results. *)
       let output =
         check_code exe "--only faults --scale 0.05 --intensities 1 --no-micro"
-          3
-      in
-      let contains hay needle =
-        let lh = String.length hay and ln = String.length needle in
-        let rec go i =
-          i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
-        in
-        go 0
+          4
       in
       Alcotest.(check bool)
         "report names the starvation" true
         (contains output "tap starved");
+      Alcotest.(check bool)
+        "partial-results notice printed" true
+        (contains output "partial results");
+      Alcotest.(check bool)
+        "no raw backtrace" false
+        (contains output "Raised at" || contains output "Fatal error");
+      (* --strict restores the historical fail-fast contract: exit 3
+         with a diagnosed report, still no backtrace. *)
+      let strict =
+        check_code exe
+          "--only faults --scale 0.05 --intensities 1 --no-micro --strict" 3
+      in
+      Alcotest.(check bool)
+        "strict report names the starvation" true
+        (contains strict "tap starved");
+      Alcotest.(check bool)
+        "strict: no raw backtrace" false
+        (contains strict "Raised at" || contains strict "Fatal error")
+
+let test_ta_lab_injected_failure_exit_4 () =
+  match ta_lab () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      (* Deterministic fault injection: point 0 of the fig4b sweep fails
+         on every attempt, so after retries it is quarantined and ta_lab
+         reports partial results. *)
+      let output =
+        check_code exe
+          "fig4b --scale 0.05 --inject-fail fig4b:0 --retries 1" 4
+      in
+      Alcotest.(check bool)
+        "partial-results notice printed" true
+        (contains output "partial results");
+      Alcotest.(check bool)
+        "quarantined point is named" true
+        (contains output "fig4b");
       Alcotest.(check bool)
         "no raw backtrace" false
         (contains output "Raised at" || contains output "Fatal error")
@@ -204,8 +243,10 @@ let suite =
       test_ta_lab_invalid_cli;
     Alcotest.test_case "bench: invalid CLI exits 2" `Quick
       test_bench_invalid_cli;
-    Alcotest.test_case "bench: Tap_starved exits 3 with a report" `Quick
-      test_bench_starved_exit_3;
+    Alcotest.test_case "bench starvation: exit 4 contained, 3 strict" `Quick
+      test_bench_starved_exits;
+    Alcotest.test_case "ta_lab: injected failure exits 4" `Quick
+      test_ta_lab_injected_failure_exit_4;
     Alcotest.test_case "tabench_diff: invalid CLI exits 2" `Quick
       test_tabench_diff_invalid_cli;
     Alcotest.test_case "tabench_diff: bad report exits 2" `Quick

@@ -44,6 +44,9 @@ let test_positive_fixtures () =
   Alcotest.(check (list (triple string int int)))
     "r001_bad: toplevel mutable" [ ("R001", 2, 12) ]
     (List.map pos (check_fixture "r001_bad.ml"));
+  Alcotest.(check (list (triple string int int)))
+    "p001_bad: ad-hoc Marshal" [ ("P001", 2, 13) ]
+    (List.map pos (check_fixture "p001_bad.ml"));
   Alcotest.check rules_t "s001_bad: missing .mli" [ "S001" ]
     (rules (check_fixture ~mli_exists:false "s001_bad.ml"));
   Alcotest.(check (list (triple string int int)))
@@ -55,8 +58,8 @@ let test_negative_fixtures () =
     (fun name ->
       Alcotest.check rules_t (name ^ " is clean") []
         (rules (check_fixture name)))
-    [ "d001_ok.ml"; "d002_ok.ml"; "d003_ok.ml"; "r001_ok.ml"; "s001_ok.ml";
-      "s002_ok.ml" ]
+    [ "d001_ok.ml"; "d002_ok.ml"; "d003_ok.ml"; "p001_ok.ml"; "r001_ok.ml";
+      "s001_ok.ml"; "s002_ok.ml" ]
 
 (* --- suppression comments --- *)
 
@@ -106,7 +109,14 @@ let test_role_exemptions () =
   Alcotest.check rules_t "lib/obs owns its registries" []
     (rules
        (check_source ~role:(Lint.Rules.Lib "obs")
-          "let registry = Hashtbl.create 8\n"))
+          "let registry = Hashtbl.create 8\n"));
+  let marshal = "let f v = Marshal.to_string v []\n" in
+  Alcotest.check rules_t "lib/exec owns Marshal" []
+    (rules (check_source ~role:(Lint.Rules.Lib "exec") marshal));
+  Alcotest.check rules_t "bin may not Marshal" [ "P001" ]
+    (rules (check_source ~role:Lint.Rules.Bin marshal));
+  Alcotest.check rules_t "bench may not Marshal" [ "P001" ]
+    (rules (check_source ~role:Lint.Rules.Bench marshal))
 
 let test_parse_error () =
   Alcotest.check rules_t "unparseable file reports E000" [ "E000" ]

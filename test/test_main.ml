@@ -23,6 +23,7 @@ let () =
       ("sizes", Test_sizes.suite);
       ("faults", Test_faults.suite);
       ("exec", Test_exec.suite);
+      ("resilience", Test_resilience.suite);
       ("obs", Test_obs.suite);
       ("obs.trace", Test_trace_schema.suite);
       ("integration", Test_integration.suite);

@@ -23,11 +23,9 @@ let contains haystack needle =
   let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
   n = 0 || at 0
 
-(* The golden run must start from a clean slate: a warm trace cache would
-   skip the simulation entirely (leaving an empty trace), and stale
-   metrics would break the event/counter reconciliation. *)
+(* The golden run must start from a clean slate: stale metrics would
+   break the event/counter reconciliation. *)
 let fresh_state () =
-  Scenarios.Trace_cache.clear ();
   Obs.Metrics.reset ();
   Obs.Span.reset ()
 
@@ -245,9 +243,10 @@ let test_tap_starved_exception () =
         "pp_starved ignores other exceptions" false
         (Scenarios.Starvation.pp_starved ppf Not_found)
 
-(* End-to-end CLI behaviour of the same failure: exit code 3, a human
-   report on stderr, no raw backtrace.  Runs from _build/default/test, so
-   the binary is a sibling directory away. *)
+(* End-to-end CLI behaviour of the same failure.  Under the supervised
+   default the starved point becomes an annotated partial result (exit
+   4); --strict restores the historical abort with the starvation report
+   (exit 3).  Neither path may leak a raw backtrace. *)
 let test_cli_starvation_exit () =
   (* cwd is _build/default/test under [dune runtest] but the project root
      under [dune exec test/test_main.exe]; accept either. *)
@@ -264,16 +263,34 @@ let test_cli_starvation_exit () =
               (Printf.sprintf "%s faults --scale 0.05 --intensities 1 >%s 2>&1"
                  (Filename.quote exe) (Filename.quote out))
           in
-          Alcotest.(check int) "starved run exits 3" 3 code;
+          Alcotest.(check int) "starved run exits 4 (partial results)" 4 code;
           let report = read_file out in
           Alcotest.(check bool)
-            "stderr explains the starvation" true
+            "output explains the starvation" true
+            (contains report "tap starved");
+          Alcotest.(check bool)
+            "partial-results notice on stderr" true
+            (contains report "partial results");
+          Alcotest.(check bool)
+            "no raw backtrace" false
+            (contains report "Raised at" || contains report "Fatal error");
+          let code_strict =
+            Sys.command
+              (Printf.sprintf
+                 "%s faults --scale 0.05 --intensities 1 --strict >%s 2>&1"
+                 (Filename.quote exe) (Filename.quote out))
+          in
+          Alcotest.(check int) "--strict keeps the exit-3 contract" 3
+            code_strict;
+          let report = read_file out in
+          Alcotest.(check bool)
+            "strict stderr explains the starvation" true
             (contains report "tap starved");
           Alcotest.(check bool)
             "metrics snapshot included" true
             (contains report "padding.gateway.fires");
           Alcotest.(check bool)
-            "no raw backtrace" false
+            "strict: no raw backtrace" false
             (contains report "Raised at" || contains report "Fatal error"))
 
 let suite =
@@ -286,6 +303,6 @@ let suite =
       test_counters_vs_detection_counts;
     Alcotest.test_case "blackout raises Tap_starved with snapshot" `Quick
       test_tap_starved_exception;
-    Alcotest.test_case "ta_lab reports starvation, exit 3" `Quick
+    Alcotest.test_case "ta_lab starvation: exit 4 contained, 3 strict" `Quick
       test_cli_starvation_exit;
   ]
