@@ -26,6 +26,7 @@ let retries = ref (-1) (* -1 = library default *)
 let strict = ref false
 let inject = ref ""
 let event_budget = ref 0 (* 0 = disarmed *)
+let half_width : float option ref = ref None
 
 let known_figures =
   [
@@ -52,8 +53,8 @@ let args =
        available cores; output is bit-identical at any N)" );
     ( "--json",
       Arg.Set_string json_path,
-      "FILE write the ta-bench/2 report (stages, spans, metrics, micro) as \
-       JSON" );
+      "FILE write the ta-bench/3 report (stages, spans, metrics, table \
+       digests, micro) as JSON" );
     ( "--trace",
       Arg.Set_string trace_path,
       "FILE write a ta-trace/1 JSONL event trace of every simulation run" );
@@ -99,6 +100,15 @@ let args =
           if n < 1 then raise (Arg.Bad "--event-budget must be >= 1");
           event_budget := n),
       "N per-point simulator event budget (watchdog against runaway points)" );
+    ( "--half-width",
+      Arg.Float
+        (fun h ->
+          if not (h > 0.0 && h < 0.5) then
+            raise (Arg.Bad "--half-width must be in (0, 0.5)");
+          half_width := Some h),
+      "H stop windowed collection (fig6/fig8) once every feature's 95% \
+       Wilson CI half-width is <= H (deterministic; default: collect to \
+       the scaled window cap)" );
   ]
 
 let wanted id =
@@ -130,15 +140,17 @@ let run_figures () =
   timed "fig5b" (fun () ->
       ignore (Scenarios.Fig5b.run ~seed:(s + 4) ?csv_dir:(csv ()) fmt));
   timed "fig6" (fun () ->
-      ignore (Scenarios.Fig6.run ~scale ~seed:(s + 5) ?csv_dir:(csv ()) fmt));
+      ignore
+        (Scenarios.Fig6.run ~scale ~seed:(s + 5) ?half_width:!half_width
+           ?csv_dir:(csv ()) fmt));
   timed "fig8a" (fun () ->
       ignore
-        (Scenarios.Fig8.run ~scale ~seed:(s + 6) ~kind:Scenarios.Fig8.Campus
-           ?csv_dir:(csv ()) fmt));
+        (Scenarios.Fig8.run ~scale ~seed:(s + 6) ?half_width:!half_width
+           ~kind:Scenarios.Fig8.Campus ?csv_dir:(csv ()) fmt));
   timed "fig8b" (fun () ->
       ignore
-        (Scenarios.Fig8.run ~scale ~seed:(s + 7) ~kind:Scenarios.Fig8.Wan
-           ?csv_dir:(csv ()) fmt));
+        (Scenarios.Fig8.run ~scale ~seed:(s + 7) ?half_width:!half_width
+           ~kind:Scenarios.Fig8.Wan ?csv_dir:(csv ()) fmt));
   timed "multirate" (fun () ->
       ignore (Scenarios.Multirate.run ~scale ~seed:(s + 8) ?csv_dir:(csv ()) fmt));
   timed "faults" (fun () ->
@@ -259,6 +271,49 @@ let micro_tests () =
                   ~created:(Desim.Sim.now sim))
            done;
            Desim.Sim.run_until sim ~time:1.0));
+    Test.make ~name:"stats.stream_mean_var_1k"
+      (Staged.stage (fun () ->
+           let m = Stats.Stream.Moments.create () in
+           Array.iter (Stats.Stream.Moments.add m) sample_1k;
+           ignore (Stats.Stream.Moments.mean m : float);
+           ignore (Stats.Stream.Moments.variance m : float)));
+    (* The figure runners' inner loop: slide a 100-sample window down 1000
+       PIATs, reading the three features at every position. *)
+    (let w =
+       Stats.Stream.Window.create ~capacity:100
+         ~bin_width:Adversary.Feature.default_entropy_bin_width
+         ~reference:0.01 ()
+     in
+     Test.make ~name:"stats.window_slide_1k"
+       (Staged.stage (fun () ->
+            Stats.Stream.Window.clear w;
+            Array.iter
+              (fun x ->
+                Stats.Stream.Window.push w x;
+                if Stats.Stream.Window.is_full w then begin
+                  ignore (Stats.Stream.Window.mean w : float);
+                  ignore (Stats.Stream.Window.variance w : float);
+                  ignore (Stats.Stream.Window.entropy w : float)
+                end)
+              sample_1k)));
+    (* Shard-merge overhead and scaling: the same 200-PIAT collection cut
+       into 4 shards, sequential vs. 4 worker domains. *)
+    Test.make ~name:"system.run_sharded_tiny_j1"
+      (Staged.stage (fun () ->
+           Exec.Pool.with_jobs 1 (fun () ->
+               ignore
+                 (Scenarios.System.run_sharded ~shards:4
+                    { Scenarios.System.default_config with warmup_piats = 10 }
+                    ~piats:200
+                   : Scenarios.System.result))));
+    Test.make ~name:"system.run_sharded_tiny_j4"
+      (Staged.stage (fun () ->
+           Exec.Pool.with_jobs 4 (fun () ->
+               ignore
+                 (Scenarios.System.run_sharded ~shards:4
+                    { Scenarios.System.default_config with warmup_piats = 10 }
+                    ~piats:200
+                   : Scenarios.System.result))));
     Test.make ~name:"feature.variance_n1000"
       (Staged.stage (fun () ->
            ignore
@@ -348,7 +403,7 @@ let add_spans buf =
     (Obs.Span.snapshot ());
   Buffer.add_string buf "\n  ],\n"
 
-let add_metrics buf =
+let add_metrics buf ~metrics =
   Buffer.add_string buf "  \"metrics\": {";
   List.iteri
     (fun i (name, v) ->
@@ -366,16 +421,28 @@ let add_metrics buf =
                h.Obs.Metrics.Snapshot.count (json_float h.mean)
                (json_float h.p50) (json_float h.p90) (json_float h.p99)
                (json_float h.max)))
-    (Obs.Metrics.snapshot ());
+    metrics;
   Buffer.add_string buf "\n  },\n"
 
-let write_json path ~resolved_jobs ~total ~micro =
+let add_tables buf =
+  Buffer.add_string buf "  \"tables\": [";
+  List.iteri
+    (fun i (title, digest) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf "\n    {\"title\": \"%s\", \"digest\": \"%s\"}"
+           (json_escape title) (json_escape digest)))
+    (Scenarios.Table.printed_digests ());
+  Buffer.add_string buf "\n  ],\n"
+
+let write_json path ~resolved_jobs ~total ~metrics ~micro =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  (* v2 = v1 plus the "spans" and "metrics" keys; every v1 key is kept
-     with its v1 meaning, so ta-bench/1 consumers only need to bump the
-     accepted schema string. *)
-  Buffer.add_string buf "  \"schema\": \"ta-bench/2\",\n";
+  (* v3 = v2 plus the "tables" key (content digests of every printed
+     table); v2 = v1 plus "spans" and "metrics".  Every earlier key keeps
+     its meaning, so consumers only need to bump the accepted schema
+     string. *)
+  Buffer.add_string buf "  \"schema\": \"ta-bench/3\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"scale\": %s,\n" (json_float !scale));
   Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" !seed);
@@ -394,7 +461,8 @@ let write_json path ~resolved_jobs ~total ~micro =
     (List.rev !stage_times);
   Buffer.add_string buf "\n  ],\n";
   add_spans buf;
-  add_metrics buf;
+  add_metrics buf ~metrics;
+  add_tables buf;
   Buffer.add_string buf "  \"micro\": [";
   List.iteri
     (fun i (name, ns, r2) ->
@@ -474,10 +542,16 @@ let () =
         max_events;
       exit 3);
   Obs.Trace.flush ();
+  (* Snapshot before the micro-benchmarks: their adaptive iteration counts
+     run real simulations, and folding those into the counters would make
+     the report's "metrics" section non-reproducible.  Snapshotted here it
+     is a pure function of (scale, seed, --only) — the structural
+     invariant tabench_diff --structural binds on. *)
+  let metrics = Obs.Metrics.snapshot () in
   let micro = if !run_micro then run_micro_benchmarks () else [] in
   let total = Unix.gettimeofday () -. t0 in
   if !json_path <> "" then
-    write_json !json_path ~resolved_jobs ~total ~micro;
+    write_json !json_path ~resolved_jobs ~total ~metrics ~micro;
   Format.fprintf fmt "@.[bench total %.1f s, scale %.2f, seed %d, jobs %d]@."
     total !scale !seed resolved_jobs;
   (if !check_trace then

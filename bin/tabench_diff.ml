@@ -1,18 +1,29 @@
-(* Compare two ta-bench/2 JSON reports and fail on performance regression.
+(* Compare two ta-bench/2|3 JSON reports and fail on regression.
 
    Usage: tabench_diff [options] BASELINE.json CURRENT.json
 
-   Stages (end-to-end figure wall-clock) and micro-benchmarks (ns/run) are
-   matched by name; entries present in only one file are reported but never
-   fail the diff.  Exit codes: 0 = within tolerance, 1 = at least one
-   regression, 2 = usage or parse error. *)
+   Default (timing) mode: stages (end-to-end figure wall-clock) and
+   micro-benchmarks (ns/run) are matched by name; entries present in only
+   one file are reported but never fail the diff.
+
+   --structural mode compares what must NOT drift between runs at the
+   same scale/seed regardless of hardware, --jobs, or wall-clock noise:
+   the stage id set, every non-exec. metric (simulation-domain counters
+   and gauges are deterministic), and the table content digests
+   (ta-bench/3).  Any mismatch — including entries present on one side
+   only — fails the diff, which is why CI can make this mode binding
+   while the timing mode stays advisory.
+
+   Exit codes: 0 = within tolerance / invariants hold, 1 = at least one
+   regression or mismatch, 2 = usage or parse error. *)
 
 let usage =
-  "tabench_diff [--tolerance F] [--stage-tolerance F] [--format text|json] \
-   BASELINE.json CURRENT.json"
+  "tabench_diff [--tolerance F] [--stage-tolerance F] [--structural] \
+   [--format text|json] BASELINE.json CURRENT.json"
 
 let tolerance = ref 0.25
 let stage_tolerance = ref 0.50
+let structural = ref false
 let format = ref "text"
 let files = ref []
 
@@ -25,6 +36,10 @@ let args =
       Arg.Set_float stage_tolerance,
       "FRAC allowed fractional slowdown per stage wall-clock (default 0.50; \
        stages are noisier than micros)" );
+    ( "--structural",
+      Arg.Set structural,
+      " compare structural invariants (stage id set, non-exec. metrics, \
+       table digests) instead of timings; every mismatch is binding" );
     ( "--format",
       Arg.Set_string format,
       "FMT output format: text (default) or json" );
@@ -43,9 +58,11 @@ let load path =
   | Error e -> die (Printf.sprintf "%s: %s" path e)
   | Ok json ->
       (match Obs.Json.member "schema" json with
-      | Some (Obs.Json.Str "ta-bench/2") -> ()
+      | Some (Obs.Json.Str ("ta-bench/2" | "ta-bench/3")) -> ()
       | Some (Obs.Json.Str s) ->
-          die (Printf.sprintf "%s: unsupported schema %S (want ta-bench/2)" path s)
+          die
+            (Printf.sprintf "%s: unsupported schema %S (want ta-bench/2 or /3)"
+               path s)
       | _ -> die (Printf.sprintf "%s: missing \"schema\" key" path));
       json
 
@@ -93,6 +110,139 @@ let compare_series ~section ~tol base cur =
     base
 
 let pct ratio = (ratio -. 1.0) *. 100.0
+
+(* --- structural mode ------------------------------------------------- *)
+
+let stage_ids json =
+  match Obs.Json.member "stages" json with
+  | Some (Obs.Json.Arr items) ->
+      List.filter_map (fun item -> str_member "id" item) items
+  | _ -> []
+
+let table_digests json =
+  match Obs.Json.member "tables" json with
+  | Some (Obs.Json.Arr items) ->
+      Some
+        (List.filter_map
+           (fun item ->
+             match (str_member "title" item, str_member "digest" item) with
+             | Some t, Some d -> Some (t, d)
+             | _ -> None)
+           items)
+  | _ -> None
+
+let nonexec_metrics json =
+  match Obs.Json.member "metrics" json with
+  | Some (Obs.Json.Obj fields) ->
+      List.filter
+        (fun (name, _) -> not (String.starts_with ~prefix:"exec." name))
+        fields
+  | _ -> []
+
+let rec render_value = function
+  | Obs.Json.Null -> "null"
+  | Obs.Json.Bool b -> string_of_bool b
+  | Obs.Json.Num f -> Printf.sprintf "%.6g" f
+  | Obs.Json.Str s -> Printf.sprintf "%S" s
+  | Obs.Json.Arr items ->
+      "[" ^ String.concat ", " (List.map render_value items) ^ "]"
+  | Obs.Json.Obj fields ->
+      "{"
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%s: %s" k (render_value v))
+             fields)
+      ^ "}"
+
+(* Compare two [(name, value)] association lists in both directions;
+   every absence or value difference is one mismatch line. *)
+let diff_assoc ~what ~eq ~show base cur =
+  let missing =
+    List.filter_map
+      (fun (name, b) ->
+        match List.assoc_opt name cur with
+        | None -> Some (Printf.sprintf "%s %S missing from current" what name)
+        | Some c when not (eq b c) ->
+            Some
+              (Printf.sprintf "%s %S differs: baseline %s vs current %s" what
+                 name (show b) (show c))
+        | Some _ -> None)
+      base
+  in
+  let extra =
+    List.filter_map
+      (fun (name, _) ->
+        if List.mem_assoc name base then None
+        else Some (Printf.sprintf "%s %S absent from baseline" what name))
+      cur
+  in
+  missing @ extra
+
+let structural_mismatches base cur =
+  let stage_diff =
+    let bs = stage_ids base and cs = stage_ids cur in
+    List.filter_map
+      (fun id ->
+        if List.mem id cs then None
+        else Some (Printf.sprintf "stage %S missing from current" id))
+      bs
+    @ List.filter_map
+        (fun id ->
+          if List.mem id bs then None
+          else Some (Printf.sprintf "stage %S absent from baseline" id))
+        cs
+  in
+  let metric_diff =
+    diff_assoc ~what:"metric" ~eq:( = ) ~show:render_value
+      (nonexec_metrics base) (nonexec_metrics cur)
+  in
+  let table_diff, table_warnings =
+    match (table_digests base, table_digests cur) with
+    | Some bt, Some ct ->
+        ( diff_assoc ~what:"table" ~eq:String.equal
+            ~show:(fun d -> d)
+            bt ct,
+          [] )
+    | None, _ ->
+        ([], [ "baseline predates ta-bench/3: table digests not checked" ])
+    | _, None ->
+        ([], [ "current predates ta-bench/3: table digests not checked" ])
+  in
+  (stage_diff @ metric_diff @ table_diff, table_warnings)
+
+let print_structural_text ~meta_warnings ~counts mismatches =
+  List.iter (fun w -> Printf.printf "warning: %s\n" w) meta_warnings;
+  List.iter (fun m -> Printf.printf "MISMATCH: %s\n" m) mismatches;
+  let stages, metrics, tables = counts in
+  if mismatches = [] then
+    Printf.printf
+      "OK: structural invariants hold (%d stages, %d metrics, %d tables)\n"
+      stages metrics tables
+  else Printf.printf "FAIL: %d structural mismatch(es)\n" (List.length mismatches)
+
+let print_structural_json ~meta_warnings ~counts mismatches =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"tabench-diff/1\",\n";
+  Buffer.add_string buf "  \"mode\": \"structural\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"ok\": %b,\n" (mismatches = []));
+  let stages, metrics, tables = counts in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"compared\": {\"stages\": %d, \"metrics\": %d, \"tables\": %d},\n"
+       stages metrics tables);
+  let string_list key items =
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": [" key);
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Printf.sprintf "\"%s\"" (Obs.Json.escape s)))
+      items;
+    Buffer.add_string buf "]"
+  in
+  string_list "warnings" meta_warnings;
+  Buffer.add_string buf ",\n";
+  string_list "mismatches" mismatches;
+  Buffer.add_string buf "\n}\n";
+  print_string (Buffer.contents buf)
 
 let print_text ~meta_warnings rows =
   List.iter (fun w -> Printf.printf "warning: %s\n" w) meta_warnings;
@@ -160,17 +310,35 @@ let () =
         | _ -> None)
       [ "scale"; "seed"; "jobs" ]
   in
-  let stages j = series ~list_key:"stages" ~name_key:"id" ~value_key:"wall_s" j in
-  let micros j =
-    series ~list_key:"micro" ~name_key:"name" ~value_key:"ns_per_run" j
-  in
-  let rows =
-    compare_series ~section:"stage" ~tol:!stage_tolerance (stages base)
-      (stages cur)
-    @ compare_series ~section:"micro" ~tol:!tolerance (micros base) (micros cur)
-  in
-  if rows = [] then die "no common stages or micro-benchmarks to compare";
-  (match !format with
-  | "json" -> print_json ~meta_warnings rows
-  | _ -> print_text ~meta_warnings rows);
-  if List.exists (fun r -> r.regressed) rows then exit 1
+  if !structural then begin
+    let mismatches, table_warnings = structural_mismatches base cur in
+    let meta_warnings = meta_warnings @ table_warnings in
+    let counts =
+      ( List.length (stage_ids base),
+        List.length (nonexec_metrics base),
+        match table_digests base with None -> 0 | Some t -> List.length t )
+    in
+    (match !format with
+    | "json" -> print_structural_json ~meta_warnings ~counts mismatches
+    | _ -> print_structural_text ~meta_warnings ~counts mismatches);
+    if mismatches <> [] then exit 1
+  end
+  else begin
+    let stages j =
+      series ~list_key:"stages" ~name_key:"id" ~value_key:"wall_s" j
+    in
+    let micros j =
+      series ~list_key:"micro" ~name_key:"name" ~value_key:"ns_per_run" j
+    in
+    let rows =
+      compare_series ~section:"stage" ~tol:!stage_tolerance (stages base)
+        (stages cur)
+      @ compare_series ~section:"micro" ~tol:!tolerance (micros base)
+          (micros cur)
+    in
+    if rows = [] then die "no common stages or micro-benchmarks to compare";
+    (match !format with
+    | "json" -> print_json ~meta_warnings rows
+    | _ -> print_text ~meta_warnings rows);
+    if List.exists (fun r -> r.regressed) rows then exit 1
+  end

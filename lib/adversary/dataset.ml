@@ -4,10 +4,117 @@ let slice trace ~sample_size =
   Array.init n (fun i -> Array.sub trace (i * sample_size) sample_size)
 
 let features_of_trace kind ~reference ~sample_size trace =
-  let windows = slice trace ~sample_size in
-  if Array.length windows = 0 then
+  if sample_size < 1 then
+    invalid_arg "Dataset.features_of_trace: sample_size < 1";
+  (* Index-based views over the trace: same windows as {!slice}, no
+     per-window copy. *)
+  let n = Array.length trace / sample_size in
+  if n = 0 then
     invalid_arg "Dataset.features_of_trace: trace shorter than one window";
-  Array.map (Feature.extract kind ~reference) windows
+  Array.init n (fun i ->
+      Feature.extract_in kind ~reference trace ~pos:(i * sample_size)
+        ~len:sample_size)
+
+type windowed = {
+  w_count : int;
+  w_means : float array;
+  w_variances : float array;
+  w_entropies : (float * float array) list;
+}
+
+let empty_windowed ~entropy_bin_widths =
+  {
+    w_count = 0;
+    w_means = [||];
+    w_variances = [||];
+    w_entropies = List.map (fun bw -> (bw, [||])) entropy_bin_widths;
+  }
+
+let append_windowed a b =
+  if
+    List.map fst a.w_entropies <> List.map fst b.w_entropies
+  then invalid_arg "Dataset.append_windowed: mismatched entropy bin widths";
+  {
+    w_count = a.w_count + b.w_count;
+    w_means = Array.append a.w_means b.w_means;
+    w_variances = Array.append a.w_variances b.w_variances;
+    w_entropies =
+      List.map2
+        (fun (bw, xs) (_, ys) -> (bw, Array.append xs ys))
+        a.w_entropies b.w_entropies;
+  }
+
+let sliding_features ~reference ~sample_size ~stride ~entropy_bin_widths trace
+    =
+  if sample_size < 2 then
+    invalid_arg "Dataset.sliding_features: sample_size < 2";
+  if stride < 1 then invalid_arg "Dataset.sliding_features: stride < 1";
+  let len = Array.length trace in
+  let count = Stats.Stream.sliding_count ~length:len ~sample_size ~stride in
+  let means = Array.make count 0.0 in
+  let variances = Array.make count 0.0 in
+  let entropies =
+    List.map (fun bw -> (bw, Array.make count 0.0)) entropy_bin_widths
+  in
+  (* One streaming pass per entropy bin width (one total when there is at
+     most one width, the common case): the window slides by [stride] and
+     every aggregate updates incrementally — no window is ever copied. *)
+  (match entropy_bin_widths with
+  | [] ->
+      let w =
+        Stats.Stream.Window.create ~capacity:sample_size ~bin_width:1.0
+          ~reference ()
+      in
+      let next = ref 0 in
+      for i = 0 to len - 1 do
+        Stats.Stream.Window.push w trace.(i);
+        if
+          Stats.Stream.Window.is_full w
+          && (i + 1 - sample_size) mod stride = 0
+          && !next < count
+        then begin
+          means.(!next) <- Stats.Stream.Window.mean w;
+          variances.(!next) <- Stats.Stream.Window.variance w;
+          incr next
+        end
+      done
+  | _ ->
+      List.iteri
+        (fun pass (bw, out) ->
+          let w =
+            Stats.Stream.Window.create ~capacity:sample_size ~bin_width:bw
+              ~reference ()
+          in
+          let next = ref 0 in
+          for i = 0 to len - 1 do
+            Stats.Stream.Window.push w trace.(i);
+            if
+              Stats.Stream.Window.is_full w
+              && (i + 1 - sample_size) mod stride = 0
+              && !next < count
+            then begin
+              if pass = 0 then begin
+                means.(!next) <- Stats.Stream.Window.mean w;
+                variances.(!next) <- Stats.Stream.Window.variance w
+              end;
+              out.(!next) <- Stats.Stream.Window.entropy w;
+              incr next
+            end
+          done)
+        entropies);
+  { w_count = count; w_means = means; w_variances = variances;
+    w_entropies = entropies }
+
+let feature_values w kind =
+  match kind with
+  | Feature.Sample_mean -> w.w_means
+  | Feature.Sample_variance -> w.w_variances
+  | Feature.Sample_entropy { bin_width } -> (
+      match List.assoc_opt bin_width w.w_entropies with
+      | Some xs -> xs
+      | None ->
+          invalid_arg
+            "Dataset.feature_values: entropy bin width not collected")
 
 let split_alternating xs =
   let n = Array.length xs in

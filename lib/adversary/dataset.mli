@@ -6,8 +6,49 @@ val slice : float array -> sample_size:int -> float array array
 
 val features_of_trace :
   Feature.kind -> reference:float -> sample_size:int -> float array -> float array
-(** One feature value per {!slice} window.  Raises if the trace yields no
-    complete window. *)
+(** One feature value per {!slice} window, computed through index-based
+    views over the trace (no per-window copy).  Raises if the trace
+    yields no complete window. *)
+
+type windowed = {
+  w_count : int;  (** number of windows *)
+  w_means : float array;  (** per-window sample mean *)
+  w_variances : float array;  (** per-window sample variance *)
+  w_entropies : (float * float array) list;
+      (** per-window plug-in entropy, one series per requested bin width *)
+}
+(** Feature series from one sliding pass: every requested feature of every
+    window, extracted incrementally by {!Stats.Stream.Window}. *)
+
+val empty_windowed : entropy_bin_widths:float list -> windowed
+(** Zero windows, with the given entropy series declared (so shards can
+    fold into it with {!append_windowed}). *)
+
+val append_windowed : windowed -> windowed -> windowed
+(** Concatenate two window series (e.g. successive shards of one logical
+    collection) in order.  Raises [Invalid_argument] when the entropy
+    bin-width sets differ. *)
+
+val sliding_features :
+  reference:float ->
+  sample_size:int ->
+  stride:int ->
+  entropy_bin_widths:float list ->
+  float array ->
+  windowed
+(** Slide a [sample_size]-window along the trace by [stride] and extract
+    mean, variance and (per bin width) entropy of every full window
+    through {!Stats.Stream} — O(stride) incremental work per window, no
+    window copies.  Windows start at offsets [0, stride, 2·stride, ...];
+    a trace shorter than one window yields [w_count = 0].  With
+    [stride = sample_size] the windows are exactly {!slice}'s (values
+    equal to the batch extractors up to floating rounding; the
+    equivalence is pinned to 1e-9 by the test suite).  Raises on
+    [sample_size < 2] or [stride < 1]. *)
+
+val feature_values : windowed -> Feature.kind -> float array
+(** Select one feature's series.  Raises [Invalid_argument] for an
+    entropy bin width the pass did not collect. *)
 
 val split_alternating : float array -> float array * float array
 (** Even-indexed elements and odd-indexed elements — an interleaved

@@ -58,17 +58,55 @@ let estimate ?priors ~feature ~reference ~sample_size ~classes () =
   estimate_on_features ?priors ~feature ~sample_size ~named_features ()
 
 let estimate_features ?priors ~features ~reference ~sample_size ~classes () =
-  (* Slice once, extract every feature from the same windows. *)
-  let windows =
-    Array.map (fun (name, trace) -> (name, Dataset.slice trace ~sample_size)) classes
-  in
+  (* Every feature reads the same windows, as index-based views over the
+     trace: the scoring loop allocates one feature array per class and
+     nothing per window. *)
   List.map
     (fun feature ->
       let named_features =
         Array.map
-          (fun (name, ws) ->
-            (name, Array.map (Feature.extract feature ~reference) ws))
-          windows
+          (fun (name, trace) ->
+            let n = Array.length trace / sample_size in
+            ( name,
+              Array.init n (fun i ->
+                  Feature.extract_in feature ~reference trace
+                    ~pos:(i * sample_size) ~len:sample_size) ))
+          classes
       in
       estimate_on_features ?priors ~feature ~sample_size ~named_features ())
     features
+
+let entropy_bin_widths features =
+  List.sort_uniq Float.compare
+    (List.filter_map
+       (function
+         | Feature.Sample_entropy { bin_width } -> Some bin_width
+         | Feature.Sample_mean | Feature.Sample_variance -> None)
+       features)
+
+let estimate_windowed ?priors ?backend ~features ~sample_size
+    ~named_windows () =
+  List.map
+    (fun feature ->
+      let named_features =
+        Array.map
+          (fun (name, w) -> (name, Dataset.feature_values w feature))
+          named_windows
+      in
+      estimate_on_features ?priors ?backend ~feature ~sample_size
+        ~named_features ())
+    features
+
+let estimate_features_sliding ?priors ?backend ?stride ~features ~reference
+    ~sample_size ~classes () =
+  let stride = Option.value stride ~default:sample_size in
+  let entropy_bin_widths = entropy_bin_widths features in
+  let named_windows =
+    Array.map
+      (fun (name, trace) ->
+        ( name,
+          Dataset.sliding_features ~reference ~sample_size ~stride
+            ~entropy_bin_widths trace ))
+      classes
+  in
+  estimate_windowed ?priors ?backend ~features ~sample_size ~named_windows ()

@@ -55,4 +55,44 @@ val estimate_features :
   classes:(string * float array) array ->
   unit ->
   result list
-(** {!estimate} for several features over the same traces (slicing reuse). *)
+(** {!estimate} for several features over the same traces.  Windows are
+    read through index-based views of each trace ({!Feature.extract_in}),
+    so scoring allocates one feature array per class and nothing per
+    window. *)
+
+val entropy_bin_widths : Feature.kind list -> float list
+(** Distinct entropy bin widths requested by a feature list, sorted —
+    what a sliding pass must collect to serve all of them. *)
+
+val estimate_windowed :
+  ?priors:float array ->
+  ?backend:[ `Kde | `Gaussian ] ->
+  features:Feature.kind list ->
+  sample_size:int ->
+  named_windows:(string * Dataset.windowed) array ->
+  unit ->
+  result list
+(** Score already-extracted window-feature series (the streaming
+    collectors' accumulation format, see {!Dataset.sliding_features} and
+    {!Dataset.append_windowed}): per feature, the series is split
+    alternating into train/test halves and scored exactly as
+    {!estimate_on_features}. *)
+
+val estimate_features_sliding :
+  ?priors:float array ->
+  ?backend:[ `Kde | `Gaussian ] ->
+  ?stride:int ->
+  features:Feature.kind list ->
+  reference:float ->
+  sample_size:int ->
+  classes:(string * float array) array ->
+  unit ->
+  result list
+(** Sliding-window variant of {!estimate_features}: windows start every
+    [stride] PIATs (default [sample_size], i.e. the classic disjoint
+    slicing) and features are extracted incrementally by
+    {!Stats.Stream.Window} — one long trace yields
+    [1 + (len - sample_size) / stride] overlapping sample windows.
+    Overlapping windows are correlated, which leaves the detection-rate
+    estimate unbiased but makes its nominal confidence interval slightly
+    optimistic; see EXPERIMENTS.md. *)

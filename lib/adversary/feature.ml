@@ -13,15 +13,17 @@ let min_sample_size = function
   | Sample_variance -> 2
   | Sample_entropy _ -> 2
 
-let extract kind ~reference sample =
-  let n = Array.length sample in
-  if n < min_sample_size kind then
+let extract_in kind ~reference sample ~pos ~len =
+  if len < min_sample_size kind then
     invalid_arg "Feature.extract: sample too small";
   match kind with
-  | Sample_mean -> Stats.Descriptive.mean sample
-  | Sample_variance -> Stats.Descriptive.variance sample
+  | Sample_mean -> Stats.Descriptive.mean_in sample ~pos ~len
+  | Sample_variance -> Stats.Descriptive.variance_in sample ~pos ~len
   | Sample_entropy { bin_width } ->
-      Stats.Entropy.of_sample ~bin_width ~reference sample
+      Stats.Entropy.of_sample_in ~bin_width ~reference sample ~pos ~len
+
+let extract kind ~reference sample =
+  extract_in kind ~reference sample ~pos:0 ~len:(Array.length sample)
 
 let default_entropy_bin_width = 1e-6
 

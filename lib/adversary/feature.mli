@@ -19,6 +19,13 @@ val extract : kind -> reference:float -> float array -> float
     Raises on samples too small for the feature (mean: n >= 1,
     variance/entropy: n >= 2). *)
 
+val extract_in :
+  kind -> reference:float -> float array -> pos:int -> len:int -> float
+(** {!extract} over the window [\[pos, pos + len)] of a long trace
+    without copying it — bit-identical to [extract] on the equivalent
+    subarray.  This is the allocation-free form the window scoring loop
+    uses. *)
+
 val min_sample_size : kind -> int
 
 val default_entropy_bin_width : float

@@ -44,6 +44,12 @@ let spare_tokens () =
   ignore (default_jobs ());
   Stdlib.max 0 (Atomic.get tokens)
 
+let with_jobs n f =
+  if n < 1 then invalid_arg "Exec.Pool.with_jobs: jobs < 1";
+  let prev = default_jobs () in
+  set_default_jobs n;
+  Fun.protect ~finally:(fun () -> set_default_jobs prev) f
+
 (* Take up to [k] spare-worker tokens; returns how many were obtained. *)
 let acquire k =
   ignore (default_jobs ());

@@ -36,6 +36,14 @@ val spare_tokens : unit -> int
 (** Number of spare worker tokens currently available (introspection for
     tests: equals [default_jobs () - 1] when the pool is idle). *)
 
+val with_jobs : int -> (unit -> 'a) -> 'a
+(** [with_jobs n f] runs [f] with the global worker count set to [n],
+    restoring the previous count afterwards (also on raise).  For
+    benches and tests that compare scheduling behaviours; like
+    {!set_default_jobs} it must not be called while parallel combinators
+    are running.  Results of the combinators are bit-identical either
+    way — only concurrency changes. *)
+
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_map f xs] is [List.map f xs] computed by up to [jobs]
     domains (default {!default_jobs}, further limited by the free global

@@ -34,14 +34,23 @@ let hop_for_utilization ~utilization ~burst =
   }
 
 let run ?(scale = 1.0) ?(seed = 42_005) ?(sample_size = 1000)
-    ?(utilizations = default_utilizations) ?(burst = `Poisson) ?csv_dir fmt =
+    ?(utilizations = default_utilizations) ?(burst = `Poisson) ?half_width
+    ?csv_dir fmt =
   if sample_size < 2 then invalid_arg "Fig6.run: sample_size < 2";
   let windows = Stdlib.max 6 (int_of_float (40.0 *. scale)) in
   let features = Adversary.Feature.standard_set in
+  let plan =
+    Workload.window_plan ~sample_size ~max_windows:windows ?half_width ()
+  in
   let digest =
     Sweep.digest_of_string
-      (Printf.sprintf "fig6|seed=%d|n=%d|w=%d|burst=%s|points=%s" seed
-         sample_size windows
+      (Printf.sprintf
+         "fig6|seed=%d|n=%d|w=%d|stride=%d|wps=%d|minw=%d|hw=%s|burst=%s|points=%s"
+         seed sample_size windows plan.Workload.stride
+         plan.Workload.windows_per_shard plan.Workload.min_windows
+         (match plan.Workload.half_width with
+         | None -> "-"
+         | Some h -> Printf.sprintf "%h" h)
          (match burst with
          | `Poisson -> "poisson"
          | `On_off (a, b, c) ->
@@ -63,9 +72,7 @@ let run ?(scale = 1.0) ?(seed = 42_005) ?(sample_size = 1000)
             tap_position = 1;
           }
         in
-        let traces =
-          Workload.collect_pair ~base ~piats:(sample_size * windows)
-        in
+        let pair, scores = Workload.collect_windowed ~base ~plan ~features in
         (* The padded stream itself adds ~0.1% at these speeds; measured
            utilization reports the cross share actually offered. *)
         let measured_utilization =
@@ -79,9 +86,9 @@ let run ?(scale = 1.0) ?(seed = 42_005) ?(sample_size = 1000)
         {
           utilization;
           measured_utilization;
-          sigma_low = sqrt traces.Workload.var_low;
-          r_hat = traces.Workload.r_hat;
-          scores = Workload.score traces ~features ~sample_size;
+          sigma_low = sqrt pair.Workload.piat_var_low;
+          r_hat = pair.Workload.ratio_hat;
+          scores;
         })
       utilizations
   in

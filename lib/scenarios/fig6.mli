@@ -33,8 +33,13 @@ val run :
   ?sample_size:int ->
   ?utilizations:float list ->
   ?burst:[ `Poisson | `On_off of float * float * float option ] ->
+  ?half_width:float ->
   ?csv_dir:string ->
   Format.formatter ->
   t
-(** Default sample size 1000 (paper), 40 windows per class per point
-    (scaled, floor 6), Poisson cross traffic. *)
+(** Default sample size 1000 (paper), up to 40 sliding windows per class
+    per point (scaled, floor 6), Poisson cross traffic.  Windows are
+    collected by {!Workload.collect_windowed} (overlapping, default
+    stride [sample_size/16]); [half_width] enables Wilson-CI early
+    stopping.  The sweep digest folds the full window plan, so changing
+    any knob invalidates checkpoints instead of replaying stale cells. *)

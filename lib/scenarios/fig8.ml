@@ -31,15 +31,22 @@ let hops_for kind ~hour =
 let default_hours = [ 0.; 2.; 4.; 6.; 8.; 10.; 12.; 14.; 16.; 18.; 20.; 22. ]
 
 let run ?(scale = 1.0) ?(seed = 42_006) ?(sample_size = 1000)
-    ?(hours = default_hours) ~kind ?csv_dir fmt =
+    ?(hours = default_hours) ?half_width ~kind ?csv_dir fmt =
   if sample_size < 2 then invalid_arg "Fig8.run: sample_size < 2";
   let windows = Stdlib.max 6 (int_of_float (16.0 *. scale)) in
   let features = Adversary.Feature.standard_set in
+  let plan =
+    Workload.window_plan ~sample_size ~max_windows:windows ?half_width ()
+  in
   let sweep = Printf.sprintf "fig8.%s" (kind_name kind) in
   let digest =
     Sweep.digest_of_string
-      (Printf.sprintf "%s|seed=%d|n=%d|w=%d|points=%s" sweep seed sample_size
-         windows
+      (Printf.sprintf "%s|seed=%d|n=%d|w=%d|stride=%d|wps=%d|minw=%d|hw=%s|points=%s"
+         sweep seed sample_size windows plan.Workload.stride
+         plan.Workload.windows_per_shard plan.Workload.min_windows
+         (match plan.Workload.half_width with
+         | None -> "-"
+         | Some h -> Printf.sprintf "%h" h)
          (String.concat "," (List.map (Printf.sprintf "%h") hours)))
   in
   (* Hours are seeded by index, hence independent: fan them out. *)
@@ -56,20 +63,13 @@ let run ?(scale = 1.0) ?(seed = 42_006) ?(sample_size = 1000)
             tap_position = Array.length hops;  (* front of receiver gateway *)
           }
         in
-        let traces =
-          Workload.collect_pair ~base ~piats:(sample_size * windows)
-        in
+        let pair, scores = Workload.collect_windowed ~base ~plan ~features in
         let utilization =
           match kind with
           | Campus -> Diurnal.campus_utilization ~hour
           | Wan -> Diurnal.wan_congested_utilization ~hour
         in
-        {
-          hour;
-          utilization;
-          r_hat = traces.Workload.r_hat;
-          scores = Workload.score traces ~features ~sample_size;
-        })
+        { hour; utilization; r_hat = pair.Workload.ratio_hat; scores })
       hours
   in
   let table =

@@ -32,10 +32,16 @@ val run :
   ?seed:int ->
   ?sample_size:int ->
   ?hours:float list ->
+  ?half_width:float ->
   kind:kind ->
   ?csv_dir:string ->
   Format.formatter ->
   t
-(** Default sample size 1000 (paper); 16 windows per class per time point
-    (scaled, floor 6).  Each time point is simulated quasi-statically at
-    that hour's utilization. *)
+(** Default sample size 1000 (paper); up to 16 sliding windows per class
+    per time point (scaled, floor 6), collected by
+    {!Workload.collect_windowed} (overlapping, default stride
+    [sample_size/16]) — the long WAN path is simulated once per
+    (hour, class) shard instead of once per window, which is what makes
+    panel (b) tractable.  [half_width] enables Wilson-CI early stopping.
+    Each time point is simulated quasi-statically at that hour's
+    utilization. *)

@@ -38,7 +38,36 @@ let effective t =
       List.rev_map (fun (row, status) -> row @ [ status_cell status ]) t.rows )
   else (t.columns, List.rev_map fst t.rows)
 
+let quote_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let columns, rows = effective t in
+  let line cells = String.concat "," (List.map quote_cell cells) in
+  String.concat "\n" (line columns :: List.map line rows) ^ "\n"
+
+let digest t =
+  Digest.to_hex (Digest.string (t.title ^ "\n" ^ to_csv t))
+
+(* Registry of printed tables, in print order.  The bench report embeds
+   it so the regression differ can compare table *content* (digests)
+   across runs, not just wall-clock.  CAS loop: figure stages run
+   sequentially today, but nothing in this module should be the thing
+   that breaks if one ever prints from a worker domain. *)
+let registry : (string * string) list Atomic.t = Atomic.make []
+
+let rec register_digest entry =
+  let cur = Atomic.get registry in
+  if not (Atomic.compare_and_set registry cur (entry :: cur)) then
+    register_digest entry
+
+let printed_digests () = List.rev (Atomic.get registry)
+let reset_digests () = Atomic.set registry []
+
 let print t fmt =
+  register_digest (t.title, digest t);
   let columns, rows = effective t in
   let widths =
     List.mapi
@@ -57,16 +86,6 @@ let print t fmt =
   Format.fprintf fmt "%s@." header;
   Format.fprintf fmt "%s@." (String.make (String.length header) '-');
   List.iter (fun row -> Format.fprintf fmt "%s@." (render_row row)) rows
-
-let quote_cell s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
-    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
-  else s
-
-let to_csv t =
-  let columns, rows = effective t in
-  let line cells = String.concat "," (List.map quote_cell cells) in
-  String.concat "\n" (line columns :: List.map line rows) ^ "\n"
 
 let rec mkdir_p dir =
   if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()

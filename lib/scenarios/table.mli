@@ -23,7 +23,21 @@ val fcell : float -> string
 (** Default float formatting ("%.4g"); scientific when warranted. *)
 
 val print : t -> Format.formatter -> unit
-(** Render with column alignment, a title line, and a rule. *)
+(** Render with column alignment, a title line, and a rule.  Also records
+    [(title, digest)] in the process-global registry read by
+    {!printed_digests} — the bench harness serializes that registry so
+    the regression differ can bind on table content. *)
+
+val digest : t -> string
+(** Hex MD5 of the title plus the {!to_csv} rendering — one stable
+    fingerprint per table; any cell, status annotation, or column change
+    changes it. *)
+
+val printed_digests : unit -> (string * string) list
+(** [(title, digest)] of every table printed so far, in print order. *)
+
+val reset_digests : unit -> unit
+(** Clear the registry (tests). *)
 
 val to_csv : t -> string
 (** RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines). *)

@@ -51,3 +51,78 @@ val score :
 
 val theory_of : feature:Adversary.Feature.kind -> r:float -> n:int -> float
 (** Theorem 1/2/3 dispatch. *)
+
+(** {2 Streaming windowed collection}
+
+    The figure runners' fast path: instead of simulating
+    [sample_size × windows] PIATs per class and slicing them into disjoint
+    windows, simulate one long trace per shard and slide a
+    [sample_size]-window along it by [stride] — the same number of sample
+    windows for roughly [stride/sample_size] of the simulation cost.
+    Collection grows by whole shards (independent simulations with
+    index-derived seeds, fanned out on {!Exec.Pool}) and can stop early
+    once every feature's 95% Wilson interval is tighter than a target
+    half-width. *)
+
+type window_plan = {
+  sample_size : int;
+  stride : int;             (** window start spacing, in PIATs *)
+  windows_per_shard : int;  (** windows contributed by one shard *)
+  min_windows : int;        (** windows accumulated before first scoring *)
+  max_windows : int;        (** hard cap per class *)
+  half_width : float option;
+      (** 95% Wilson half-width target for early stop; [None] = collect
+          straight to [max_windows] *)
+}
+
+val window_plan :
+  ?stride:int ->
+  ?windows_per_shard:int ->
+  ?min_windows:int ->
+  ?half_width:float ->
+  sample_size:int ->
+  max_windows:int ->
+  unit ->
+  window_plan
+(** Validated constructor.  Defaults: [stride = max 1 (sample_size / 16)],
+    [windows_per_shard = 8] (clamped to [max_windows]), [min_windows = 6],
+    no early stop.  Collection grows by whole shards, so the realized
+    window count is a multiple of [windows_per_shard]: the last shard may
+    carry the total past [max_windows] when the cap is not a shard
+    multiple.  Raises [Invalid_argument] on a stride outside
+    [1, sample_size], [min_windows < 4] (scoring needs 2 train + 2 test
+    windows per class), [max_windows < min_windows], or a half-width
+    outside (0, 0.5). *)
+
+val shard_piats : window_plan -> int
+(** PIATs one shard simulates per class:
+    [sample_size + (windows_per_shard - 1) * stride].  Windows never span
+    shard boundaries, so sharding changes no window's contents. *)
+
+type windowed_pair = {
+  low_windows : Adversary.Dataset.windowed;
+  high_windows : Adversary.Dataset.windowed;
+  piat_var_low : float;   (** PIAT variance under ω_l, all shards merged *)
+  piat_var_high : float;
+  ratio_hat : float;      (** max(piat_var_high/piat_var_low, 1) *)
+  shards_run : int;       (** shards simulated per class *)
+  piats_per_class : int;  (** post-warmup PIATs simulated per class *)
+  stopped_early : bool;   (** the half-width target fired before
+                              [max_windows] *)
+}
+
+val collect_windowed :
+  base:System.config ->
+  plan:window_plan ->
+  features:Adversary.Feature.kind list ->
+  windowed_pair * scored list
+(** Run the calibration low/high pair under [plan] and return the
+    accumulated window features together with the final scoring (so
+    callers never re-train the classifier).  Each (shard, class) task
+    seeds its simulation with [Rng.mix_seed class_seed shard] (class
+    seeds as in {!collect_pair}) and extracts features in-task; shard
+    results are merged in index order.  Both the collected data and the
+    early-stopping decision are functions of [(base.seed, plan)] only —
+    bit-identical at any [--jobs].  PIAT variances come from merged
+    streaming moments ({!Stats.Stream.Moments.merge}), not a concatenated
+    trace. *)

@@ -88,17 +88,43 @@ module Acc = struct
     t.max
 end
 
+(* The [_in] variants compute over the subarray [pos, pos + len) without
+   copying it, in the exact iteration order of the whole-array versions,
+   so [f_in xs ~pos:0 ~len:(Array.length xs)] is bit-identical to [f xs].
+   They are what lets the adversary's window scoring stay allocation-free
+   (no Array.sub per window). *)
+
+let check_view name xs ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length xs then
+    invalid_arg ("Descriptive." ^ name ^ ": view out of bounds")
+
+let mean_in xs ~pos ~len =
+  check_view "mean_in" xs ~pos ~len;
+  if len = 0 then invalid_arg "Descriptive.mean_in: empty";
+  let acc = ref 0.0 in
+  for i = pos to pos + len - 1 do
+    acc := !acc +. Array.unsafe_get xs i
+  done;
+  !acc /. float_of_int len
+
 let mean xs =
-  let n = Array.length xs in
-  if n = 0 then invalid_arg "Descriptive.mean: empty";
-  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+  if Array.length xs = 0 then invalid_arg "Descriptive.mean: empty";
+  mean_in xs ~pos:0 ~len:(Array.length xs)
+
+let variance_in xs ~pos ~len =
+  check_view "variance_in" xs ~pos ~len;
+  if len < 2 then invalid_arg "Descriptive.variance_in: need n >= 2";
+  let m = mean_in xs ~pos ~len in
+  let acc = ref 0.0 in
+  for i = pos to pos + len - 1 do
+    let d = Array.unsafe_get xs i -. m in
+    acc := !acc +. (d *. d)
+  done;
+  !acc /. float_of_int (len - 1)
 
 let variance xs =
-  let n = Array.length xs in
-  if n < 2 then invalid_arg "Descriptive.variance: need n >= 2";
-  let m = mean xs in
-  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
-  acc /. float_of_int (n - 1)
+  if Array.length xs < 2 then invalid_arg "Descriptive.variance: need n >= 2";
+  variance_in xs ~pos:0 ~len:(Array.length xs)
 
 let std xs = sqrt (variance xs)
 
@@ -116,13 +142,27 @@ let quantile xs p =
 
 let median xs = quantile xs 0.5
 
-let minimum xs =
-  if Array.length xs = 0 then invalid_arg "Descriptive.minimum: empty";
-  Array.fold_left Float.min xs.(0) xs
+let minimum_in xs ~pos ~len =
+  check_view "minimum_in" xs ~pos ~len;
+  if len = 0 then invalid_arg "Descriptive.minimum_in: empty";
+  let acc = ref xs.(pos) in
+  for i = pos to pos + len - 1 do
+    acc := Float.min !acc (Array.unsafe_get xs i)
+  done;
+  !acc
 
-let maximum xs =
-  if Array.length xs = 0 then invalid_arg "Descriptive.maximum: empty";
-  Array.fold_left Float.max xs.(0) xs
+let minimum xs = minimum_in xs ~pos:0 ~len:(Array.length xs)
+
+let maximum_in xs ~pos ~len =
+  check_view "maximum_in" xs ~pos ~len;
+  if len = 0 then invalid_arg "Descriptive.maximum_in: empty";
+  let acc = ref xs.(pos) in
+  for i = pos to pos + len - 1 do
+    acc := Float.max !acc (Array.unsafe_get xs i)
+  done;
+  !acc
+
+let maximum xs = maximum_in xs ~pos:0 ~len:(Array.length xs)
 
 let autocorrelation xs ~lag =
   let n = Array.length xs in

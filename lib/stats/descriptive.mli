@@ -45,6 +45,17 @@ val variance : float array -> float
 
 val std : float array -> float
 
+(** The [_in] variants compute the same statistic over the subarray
+    [\[pos, pos + len)] without copying it, in the exact iteration order
+    of the whole-array versions — [f_in xs ~pos:0 ~len] is bit-identical
+    to [f xs].  They back the adversary's allocation-free window scoring.
+    All raise [Invalid_argument] on an out-of-bounds view. *)
+
+val mean_in : float array -> pos:int -> len:int -> float
+val variance_in : float array -> pos:int -> len:int -> float
+val minimum_in : float array -> pos:int -> len:int -> float
+val maximum_in : float array -> pos:int -> len:int -> float
+
 val median : float array -> float
 (** Median without mutating the input; raises on empty. *)
 
@@ -54,6 +65,7 @@ val quantile : float array -> float -> float
 
 val minimum : float array -> float
 val maximum : float array -> float
+(** [minimum]/[maximum] raise on empty input. *)
 
 val autocorrelation : float array -> lag:int -> float
 (** Sample autocorrelation at [lag] (biased normalization); 0 when the

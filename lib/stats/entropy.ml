@@ -10,11 +10,11 @@ let histogram_plugin h = of_probabilities (Histogram.probabilities h)
 let histogram_differential h =
   histogram_plugin h +. log (Histogram.bin_width h)
 
-let of_sample ~bin_width ~reference xs =
-  let n = Array.length xs in
-  if n = 0 then invalid_arg "Entropy.of_sample: empty";
+let of_sample_in ~bin_width ~reference xs ~pos ~len =
+  if len = 0 then invalid_arg "Entropy.of_sample: empty";
   if bin_width <= 0.0 then invalid_arg "Entropy.of_sample: bin_width <= 0";
-  let min_x = Descriptive.minimum xs and max_x = Descriptive.maximum xs in
+  let min_x = Descriptive.minimum_in xs ~pos ~len
+  and max_x = Descriptive.maximum_in xs ~pos ~len in
   (* Snap the grid origin to multiples of bin_width below the data, anchored
      at [reference], so two samples from the same system share bin edges. *)
   let k_lo = Float.floor ((min_x -. reference) /. bin_width) in
@@ -22,8 +22,13 @@ let of_sample ~bin_width ~reference xs =
   let span = max_x -. lo in
   let bins = Stdlib.max 1 (1 + int_of_float (Float.floor (span /. bin_width))) in
   let h = Histogram.create ~lo ~bin_width ~bins in
-  Array.iter (Histogram.add h) xs;
+  for i = pos to pos + len - 1 do
+    Histogram.add h xs.(i)
+  done;
   histogram_plugin h
+
+let of_sample ~bin_width ~reference xs =
+  of_sample_in ~bin_width ~reference xs ~pos:0 ~len:(Array.length xs)
 
 let normal_differential ~sigma =
   if sigma <= 0.0 then invalid_arg "Entropy.normal_differential: sigma <= 0";

@@ -17,6 +17,13 @@ val histogram_differential : Histogram.t -> float
 (** Paper eq. (24): plug-in entropy plus [ln Δh] — a differential-entropy
     estimate comparable across bin widths (Moddemeijer 1989). *)
 
+val of_sample_in :
+  bin_width:float -> reference:float -> float array -> pos:int -> len:int ->
+  float
+(** {!of_sample} over the view [\[pos, pos + len)] of the array, without
+    copying it — bit-identical to [of_sample] on the equivalent subarray.
+    Raises [Invalid_argument] on an empty or out-of-bounds view. *)
+
 val of_sample : bin_width:float -> reference:float -> float array -> float
 (** [of_sample ~bin_width ~reference xs] is the adversary's feature
     extractor: bins [xs] on a grid anchored at [reference] (grid edges at

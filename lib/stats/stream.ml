@@ -1,0 +1,167 @@
+(* Streaming windowed statistics: the feature-extraction kernels behind the
+   sliding-window scoring path.  One long PIAT trace yields many overlapping
+   sample windows; each slide updates the window aggregates in O(stride)
+   instead of recomputing O(sample_size), and never copies the window. *)
+
+module Moments = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+  let clear t =
+    t.n <- 0;
+    t.mean <- 0.0;
+    t.m2 <- 0.0
+
+  (* Welford forward update — the same recurrence as [Descriptive.Acc],
+     restricted to the first two moments so it admits an exact inverse. *)
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  (* Inverse Welford: removing a value the window has outgrown.  Solving
+     the forward update for the (n-1)-element state gives
+       mean' = mean - (x - mean) / (n - 1)
+       m2'   = m2 - (x - mean') * (x - mean)
+     M2 is clamped at 0 so accumulated rounding can never produce a
+     negative variance. *)
+  let remove t x =
+    if t.n < 1 then invalid_arg "Stream.Moments.remove: empty";
+    if t.n = 1 then clear t
+    else begin
+      let n1 = float_of_int (t.n - 1) in
+      let mean' = t.mean -. ((x -. t.mean) /. n1) in
+      t.m2 <- Float.max 0.0 (t.m2 -. ((x -. mean') *. (x -. t.mean)));
+      t.mean <- mean';
+      t.n <- t.n - 1
+    end
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let na = float_of_int a.n and nb = float_of_int b.n in
+      let n = na +. nb in
+      let delta = b.mean -. a.mean in
+      {
+        n = a.n + b.n;
+        mean = a.mean +. (delta *. nb /. n);
+        m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. n);
+      }
+    end
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let std t = sqrt (variance t)
+end
+
+module Hist = struct
+  (* Incremental plug-in entropy over a binned sliding window.  Bins are
+     anchored at [reference] on a grid of [bin_width] (the same partition
+     [Entropy.of_sample] builds), keyed by their integer grid index, and
+     the sum S = sum_bins c*ln(c) is maintained incrementally so entropy
+     updates cost O(1) per inserted or evicted value:
+       H = ln n - S / n. *)
+  type t = {
+    bin_width : float;
+    reference : float;
+    bins : (int, int) Hashtbl.t;
+    mutable n : int;
+    mutable s : float; (* sum over bins of c * ln c *)
+  }
+
+  let create ~bin_width ~reference () =
+    if bin_width <= 0.0 || not (Float.is_finite bin_width) then
+      invalid_arg "Stream.Hist.create: bin_width <= 0";
+    { bin_width; reference; bins = Hashtbl.create 64; n = 0; s = 0.0 }
+
+  let clear t =
+    Hashtbl.reset t.bins;
+    t.n <- 0;
+    t.s <- 0.0
+
+  let index t x =
+    int_of_float (Float.floor ((x -. t.reference) /. t.bin_width))
+
+  let xlnx c = if c <= 0 then 0.0 else float_of_int c *. log (float_of_int c)
+
+  let add t x =
+    let k = index t x in
+    let c = Option.value (Hashtbl.find_opt t.bins k) ~default:0 in
+    Hashtbl.replace t.bins k (c + 1);
+    t.s <- t.s -. xlnx c +. xlnx (c + 1);
+    t.n <- t.n + 1
+
+  let remove t x =
+    let k = index t x in
+    match Hashtbl.find_opt t.bins k with
+    | None | Some 0 -> invalid_arg "Stream.Hist.remove: value not present"
+    | Some c ->
+        if c = 1 then Hashtbl.remove t.bins k
+        else Hashtbl.replace t.bins k (c - 1);
+        t.s <- t.s -. xlnx c +. xlnx (c - 1);
+        t.n <- t.n - 1
+
+  let count t = t.n
+
+  let entropy t =
+    if t.n = 0 then 0.0
+    else
+      let n = float_of_int t.n in
+      log n -. (t.s /. n)
+end
+
+module Window = struct
+  type t = {
+    cap : int;
+    buf : float array;
+    mutable head : int; (* next write slot *)
+    mutable n : int;
+    mom : Moments.t;
+    hist : Hist.t;
+  }
+
+  let create ~capacity ~bin_width ~reference () =
+    if capacity < 1 then invalid_arg "Stream.Window.create: capacity < 1";
+    {
+      cap = capacity;
+      buf = Array.make capacity 0.0;
+      head = 0;
+      n = 0;
+      mom = Moments.create ();
+      hist = Hist.create ~bin_width ~reference ();
+    }
+
+  let clear t =
+    t.head <- 0;
+    t.n <- 0;
+    Moments.clear t.mom;
+    Hist.clear t.hist
+
+  let push t x =
+    if t.n = t.cap then begin
+      let old = t.buf.(t.head) in
+      Moments.remove t.mom old;
+      Hist.remove t.hist old
+    end
+    else t.n <- t.n + 1;
+    t.buf.(t.head) <- x;
+    t.head <- (t.head + 1) mod t.cap;
+    Moments.add t.mom x;
+    Hist.add t.hist x
+
+  let count t = t.n
+  let is_full t = t.n = t.cap
+  let capacity t = t.cap
+  let mean t = Moments.mean t.mom
+  let variance t = Moments.variance t.mom
+  let entropy t = Hist.entropy t.hist
+end
+
+let sliding_count ~length ~sample_size ~stride =
+  if sample_size < 1 then invalid_arg "Stream.sliding_count: sample_size < 1";
+  if stride < 1 then invalid_arg "Stream.sliding_count: stride < 1";
+  if length < sample_size then 0 else 1 + ((length - sample_size) / stride)

@@ -1,0 +1,98 @@
+(** Streaming windowed statistics for sliding-window feature extraction.
+
+    One long observation is scored through many overlapping sample windows
+    (the timing-only attack framing): a {!Window} of capacity [n] slides
+    along the trace by a stride, and each slide updates the window's mean,
+    variance and binned entropy incrementally — O(stride) work per window
+    against O(n) for a recompute, with no per-window copy.
+
+    All state here is per-value, caller-owned and single-domain; parallel
+    collectors keep one accumulator per shard and combine results with
+    {!Moments.merge} (associative and commutative), which is what keeps
+    sharded runs bit-identical at any worker count. *)
+
+module Moments : sig
+  type t
+  (** First-two-moment Welford accumulator supporting exact removal — the
+      windowed generalization of [Descriptive.Acc] (which tracks four
+      moments but only grows). *)
+
+  val create : unit -> t
+  val clear : t -> unit
+
+  val add : t -> float -> unit
+  (** Welford forward update. *)
+
+  val remove : t -> float -> unit
+  (** Inverse update: deletes one previously-added value from the
+      aggregate (the value itself, not an index — callers keep the window
+      contents, e.g. in {!Window}'s ring).  M2 is clamped at 0 against
+      accumulated rounding.  Raises [Invalid_argument] when empty. *)
+
+  val merge : t -> t -> t
+  (** Chan et al. combine: order-insensitive, so per-shard accumulators
+      merged in index order give one deterministic answer. *)
+
+  val count : t -> int
+
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Unbiased (n-1) sample variance; 0 for n < 2. *)
+
+  val std : t -> float
+end
+
+module Hist : sig
+  type t
+  (** Incremental plug-in entropy over binned values: bins of width
+      [bin_width] anchored at [reference] (the partition
+      [Entropy.of_sample] builds), with Σ c·ln c maintained across
+      insertions and evictions so entropy reads are O(1). *)
+
+  val create : bin_width:float -> reference:float -> unit -> t
+  (** Raises [Invalid_argument] unless [bin_width] is positive and
+      finite. *)
+
+  val clear : t -> unit
+  val add : t -> float -> unit
+
+  val remove : t -> float -> unit
+  (** Raises [Invalid_argument] if no value in [x]'s bin is present. *)
+
+  val count : t -> int
+
+  val entropy : t -> float
+  (** Plug-in (histogram) entropy ln n − (Σ c·ln c)/n in nats; 0 when
+      empty.  Matches [Entropy.of_sample] on the same values to floating
+      rounding. *)
+end
+
+module Window : sig
+  type t
+  (** Fixed-capacity sliding window: a ring of the last [capacity] values
+      with a {!Moments} and a {!Hist} kept in lockstep.  Pushing into a
+      full window evicts the oldest value from all aggregates. *)
+
+  val create :
+    capacity:int -> bin_width:float -> reference:float -> unit -> t
+  (** Raises [Invalid_argument] if [capacity < 1] or [bin_width <= 0]. *)
+
+  val clear : t -> unit
+  val push : t -> float -> unit
+  val count : t -> int
+  val is_full : t -> bool
+  val capacity : t -> int
+  val mean : t -> float
+  val variance : t -> float
+
+  val entropy : t -> float
+  (** Plug-in entropy of the current window contents. *)
+end
+
+val sliding_count : length:int -> sample_size:int -> stride:int -> int
+(** Number of full windows a sliding pass yields:
+    [1 + (length - sample_size) / stride] when [length >= sample_size],
+    0 otherwise.  Raises [Invalid_argument] on a non-positive
+    [sample_size] or [stride]. *)

@@ -1,0 +1,9 @@
+(* R001 negative: the sharded-accumulator pattern.  Every accumulator is
+   allocated inside the collecting function — one per shard, merged in
+   index order after the fan-out — so no mutable state lives at module
+   level and nothing races under Exec.Pool. *)
+let collect ~shards ~run_shard =
+  let accs = Array.init shards (fun i -> run_shard i (Hashtbl.create 16)) in
+  Array.to_list accs
+
+let merge_in_order merge zero parts = Array.fold_left merge zero parts

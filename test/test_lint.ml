@@ -59,7 +59,7 @@ let test_negative_fixtures () =
       Alcotest.check rules_t (name ^ " is clean") []
         (rules (check_fixture name)))
     [ "d001_ok.ml"; "d002_ok.ml"; "d003_ok.ml"; "p001_ok.ml"; "r001_ok.ml";
-      "s001_ok.ml"; "s002_ok.ml" ]
+      "r001_shard_ok.ml"; "s001_ok.ml"; "s002_ok.ml" ]
 
 (* --- suppression comments --- *)
 

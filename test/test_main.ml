@@ -10,6 +10,7 @@ let () =
       ("stats.kde", Test_kde.suite);
       ("stats.distribution", Test_distribution.suite);
       ("stats.numerics", Test_numerics.suite);
+      ("stats.stream", Test_stream.suite);
       ("stats.fourier", Test_fourier.suite);
       ("desim", Test_desim.suite);
       ("desim.proc", Test_proc.suite);
