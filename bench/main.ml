@@ -31,7 +31,7 @@ let half_width : float option ref = ref None
 let known_figures =
   [
     "fig4a"; "fig4b"; "fig5a"; "fig5b"; "fig6"; "fig8a"; "fig8b"; "multirate";
-    "faults"; "ablations";
+    "faults"; "fleet"; "ablations";
   ]
 
 let args =
@@ -128,6 +128,44 @@ let timed id f =
 
 let csv () = if !csv_dir = "" then None else Some !csv_dir
 
+(* Fleet mux throughput at fixed fleet sizes — deliberately NOT scaled by
+   --scale so the flows/s numbers are comparable across runs.  Durations
+   shrink as fleets grow to hold each case at ~500k arrivals; every shard
+   simulation runs under an explicit event budget so a runaway 1M-flow
+   case dies with Event_budget_exceeded instead of hanging the bench.
+   Reported to the ta-bench/3 "micro" list as ns/flow (lower is better);
+   the stdout lines end in "done in X s]" like the stage markers, so CI's
+   jobs-invariance diff filters them alongside the other wall-clock
+   lines. *)
+let fleet_micro : (string * float * float) list ref = ref []
+
+let fleet_throughput () =
+  List.iter
+    (fun (flows, duration) ->
+      let cfg =
+        { Fleet.Mux.default_config with flows; duration; seed = !seed + 31 }
+      in
+      let env_for _gateway =
+        let sim = Desim.Sim.create () in
+        Desim.Sim.set_event_budget sim ~max_events:4_000_000;
+        { Fleet.Mux.sim; gw_buffers = None }
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Fleet.Mux.run ~env_for cfg in
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.fprintf fmt
+        "[fleet.mux %d flows: %.3e flows/s, %.3e ev/s, done in %.2f s]@."
+        flows
+        (float_of_int flows /. dt)
+        (float_of_int r.Fleet.Mux.events_processed /. dt)
+        dt;
+      fleet_micro :=
+        ( Printf.sprintf "fleet.mux_ns_per_flow_%dk" (flows / 1000),
+          dt *. 1e9 /. float_of_int flows,
+          Float.nan )
+        :: !fleet_micro)
+    [ (10_000, 2.0); (100_000, 0.2); (1_000_000, 0.02) ]
+
 let run_figures () =
   let scale = !scale and s = !seed in
   Scenarios.Calibration.print_setup fmt;
@@ -157,6 +195,9 @@ let run_figures () =
       ignore
         (Scenarios.Degradation.run ~scale ~seed:(s + 20)
            ?intensities:!intensities ?csv_dir:(csv ()) fmt));
+  timed "fleet" (fun () ->
+      ignore (Scenarios.Fleet.run ~scale ~seed:(s + 21) ?csv_dir:(csv ()) fmt);
+      fleet_throughput ());
   timed "ablations" (fun () ->
       ignore (Scenarios.Ablations.run_jitter_models ~scale ~seed:(s + 9) fmt);
       ignore (Scenarios.Ablations.run_vit_laws ~scale ~seed:(s + 10) fmt);
@@ -548,7 +589,10 @@ let () =
      is a pure function of (scale, seed, --only) — the structural
      invariant tabench_diff --structural binds on. *)
   let metrics = Obs.Metrics.snapshot () in
-  let micro = if !run_micro then run_micro_benchmarks () else [] in
+  let micro =
+    (if !run_micro then run_micro_benchmarks () else [])
+    @ List.rev !fleet_micro
+  in
   let total = Unix.gettimeofday () -. t0 in
   if !json_path <> "" then
     write_json !json_path ~resolved_jobs ~total ~metrics ~micro;

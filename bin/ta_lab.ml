@@ -17,6 +17,17 @@ let pos_float_conv ~what =
   in
   Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
 
+let pos_int_conv ~what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some i when i >= 1 -> Ok i
+    | Some i -> Error (`Msg (Printf.sprintf "%s must be >= 1, got %d" what i))
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "invalid %s %S (expected an integer)" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let seed_conv =
   let parse s =
     match int_of_string_opt s with
@@ -267,7 +278,14 @@ let faults_cmd =
           List.find_opt (fun x -> Float.is_nan x || x < 0.0 || x > 1.0) xs)
     with
     | Some bad ->
-        `Error (false, Printf.sprintf "intensity %g outside [0, 1]" bad)
+        `Error
+          ( false,
+            Printf.sprintf "intensity %g outside the valid range [0, 1]" bad )
+    | None when intensities = Some [] ->
+        `Error
+          ( false,
+            "at least one fault intensity in the valid range [0, 1] is \
+             required" )
     | None -> (
         match apply_resilience resilience with
         | `Error _ as e -> e
@@ -291,6 +309,82 @@ let faults_cmd =
       ret
         (const run $ scale_arg $ seed_arg $ csv_arg $ intensities_arg
        $ jobs_arg $ trace_arg $ metrics_arg $ resilience_term))
+
+let fleet_cmd =
+  let flows_arg =
+    let doc =
+      "Comma-separated fleet sizes (concurrent flows, each >= 1) to sweep \
+       (default 1000,10000,100000; scaled by --scale)."
+    in
+    Arg.(value
+         & opt (some (list (pos_int_conv ~what:"flow count"))) None
+         & info [ "flows" ] ~docv:"LIST" ~doc)
+  in
+  let gateways_arg =
+    let doc =
+      "Padded gateways sharing the fleet (>= 1; capped at the flow count \
+       per point)."
+    in
+    Arg.(value
+         & opt (pos_int_conv ~what:"gateways") 8
+         & info [ "gateways" ] ~docv:"N" ~doc)
+  in
+  let probes_arg =
+    let doc =
+      "Probe flows per point for the detection-rate distribution (>= 1)."
+    in
+    Arg.(value
+         & opt (pos_int_conv ~what:"probes") 12
+         & info [ "probes" ] ~docv:"N" ~doc)
+  in
+  let duration_arg =
+    let doc = "Simulated mux duration per point, seconds (> 0)." in
+    Arg.(value
+         & opt (pos_float_conv ~what:"duration") 2.0
+         & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let load_arg =
+    let doc = "Aggregate-load shape: $(b,flat) or $(b,diurnal)." in
+    Arg.(value
+         & opt
+             (enum
+                [
+                  ("flat", Scenarios.Fleet.Flat);
+                  ("diurnal", Scenarios.Fleet.Diurnal);
+                ])
+             Scenarios.Fleet.Flat
+         & info [ "load" ] ~docv:"SHAPE" ~doc)
+  in
+  let run scale seed csv_dir flows gateways probes duration load jobs trace
+      metrics resilience =
+    match flows with
+    | Some [] ->
+        `Error
+          (false, "at least one flow count in the valid range >= 1 is required")
+    | _ -> (
+        match apply_resilience resilience with
+        | `Error _ as e -> e
+        | `Ok () ->
+            apply_jobs jobs;
+            apply_trace trace;
+            Scenarios.Calibration.print_setup fmt;
+            ignore
+              (Scenarios.Fleet.run ~scale ?seed ?csv_dir ?flow_counts:flows
+                 ~gateways ~probes ~duration ~load fmt);
+            finish_obs metrics;
+            finish_partial ~resilience ~csv_dir;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Sweep fleet size: mux many concurrent flows behind a padded \
+          gateway fleet and report the per-flow detection-rate distribution.")
+    Term.(
+      ret
+        (const run $ scale_arg $ seed_arg $ csv_arg $ flows_arg $ gateways_arg
+       $ probes_arg $ duration_arg $ load_arg $ jobs_arg $ trace_arg
+       $ metrics_arg $ resilience_term))
 
 let ablations_cmd =
   let run scale seed jobs trace metrics resilience =
@@ -486,8 +580,8 @@ let main_cmd =
     (Cmd.info "ta_lab" ~version:"1.0.0" ~doc)
     [
       setup_cmd; fig4a_cmd; fig4b_cmd; fig5a_cmd; fig5b_cmd; fig6_cmd;
-      fig8a_cmd; fig8b_cmd; multirate_cmd; faults_cmd; ablations_cmd;
-      theory_cmd; design_cmd; evaluate_cmd; all_cmd;
+      fig8a_cmd; fig8b_cmd; multirate_cmd; faults_cmd; fleet_cmd;
+      ablations_cmd; theory_cmd; design_cmd; evaluate_cmd; all_cmd;
     ]
 
 let () =

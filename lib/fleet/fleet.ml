@@ -1,0 +1,7 @@
+(* Namespace module: the library is unwrapped (so the scenarios layer's
+   Scenarios.Fleet sweep can coexist with it), and this alias module
+   restores the Fleet.Flow_table / Fleet.Mux spelling for everyone
+   else. *)
+
+module Flow_table = Flow_table
+module Mux = Mux

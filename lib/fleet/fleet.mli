@@ -1,0 +1,9 @@
+(** Fleet-scale multi-flow workloads.
+
+    {!Flow_table} is the fixed-width SoA per-flow state table;
+    {!Mux} multiplexes heterogeneous per-flow traffic over shared padded
+    gateways.  The library is unwrapped; this module is the
+    [Fleet.Flow_table] / [Fleet.Mux] namespace for external users. *)
+
+module Flow_table = Flow_table
+module Mux = Mux

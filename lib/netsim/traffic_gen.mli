@@ -77,3 +77,18 @@ val modulated_poisson :
 (** Non-homogeneous Poisson by Lewis–Shedler thinning: instantaneous rate
     [rate_fn now] (must lie in [0, rate_max], [rate_max > 0]).  Used for
     the diurnal utilization profiles of the campus/WAN experiments. *)
+
+val modulated_arrivals :
+  Desim.Sim.t ->
+  rng:Prng.Rng.t ->
+  rate_fn:(float -> float) ->
+  rate_max:float ->
+  f:(float -> unit) ->
+  unit ->
+  t
+(** The arrival-instant train of {!modulated_poisson} without the packet:
+    [f now] runs at each accepted arrival and decides what it means.
+    The fleet mux uses this to demultiplex one superposed arrival
+    process onto many flows — picking the flow, counting it, and
+    building the packet itself — at O(1) per arrival instead of one
+    event source per flow.  [generated] counts accepted arrivals. *)

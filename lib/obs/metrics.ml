@@ -112,6 +112,20 @@ let counter ?(help = "") name =
       (c, C c))
     (function C c -> Some c | G _ | H _ -> None)
 
+(* Labeled counters compose "base{key=value}" names so a small family of
+   per-class series (e.g. the fleet mux's per-rate-class arrival counts)
+   shares one base name.  The brace syntax is reserved for this
+   constructor, keeping plain and labeled names unambiguous. *)
+let counter_labeled ?help name ~label:(k, v) =
+  let bad s = String.exists (fun c -> c = '{' || c = '}' || c = '=') s in
+  if bad name || bad k || bad v || k = "" || v = "" then
+    invalid_arg
+      (Printf.sprintf
+         "Obs.Metrics.counter_labeled: %S{%S=%S} — names and labels must be \
+          non-empty and brace/equals-free"
+         name k v);
+  counter ?help (Printf.sprintf "%s{%s=%s}" name k v)
+
 let incr c = Stdlib.incr (Domain.DLS.get c.c_shards.key)
 let add c n = if n <> 0 then
     let r = Domain.DLS.get c.c_shards.key in

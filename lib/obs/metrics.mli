@@ -19,6 +19,15 @@ type gauge
 type histogram
 
 val counter : ?help:string -> string -> counter
+
+val counter_labeled : ?help:string -> string -> label:string * string -> counter
+(** [counter_labeled base ~label:(k, v)] is the counter named
+    ["base{k=v}"] — a small per-label family sharing one base name (the
+    fleet mux keys arrival counts by rate class this way).  Labels are
+    part of the metric name, so they sort, snapshot and merge exactly
+    like any other counter.  Raises [Invalid_argument] if any component
+    is empty or contains ['{'], ['}'] or ['=']. *)
+
 val incr : counter -> unit
 val add : counter -> int -> unit
 

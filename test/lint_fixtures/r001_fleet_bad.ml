@@ -1,0 +1,6 @@
+(* R001 positive: the naive global fleet accumulator — module-level
+   mutable columns and a shared counter race under Exec.Pool. *)
+let packet_counts = Array.make 4096 0.0
+let arrivals_total = ref 0
+let record flow = packet_counts.(flow) <- packet_counts.(flow) +. 1.0
+let bump () = incr arrivals_total

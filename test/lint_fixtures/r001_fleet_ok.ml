@@ -1,0 +1,20 @@
+(* R001 negative: the fleet-shard idiom.  Module level holds only
+   coordination primitives — an Atomic progress counter, a registry
+   mutex, a per-domain DLS scratch slot (its allocator runs per domain,
+   inside the closure) — while the mutable flow columns themselves are
+   allocated per shard inside the fan-out and merged in index order. *)
+let shards_done = Atomic.make 0
+let registry_lock = Mutex.create ()
+let scratch = Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let run_shard ~width f =
+  let columns = Array.make width 0.0 in
+  f columns (Domain.DLS.get scratch);
+  Atomic.incr shards_done;
+  columns
+
+let merge_in_order parts = Array.concat (Array.to_list parts)
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f

@@ -57,6 +57,13 @@ let test_ta_lab_invalid_cli () =
       ignore (check_code exe "fig4b --scale nan" 2 : string);
       ignore (check_code exe "fig4b --seed -3" 2 : string);
       ignore (check_code exe "faults --intensities 1.5" 2 : string);
+      ignore (check_code exe "faults --intensities ''" 2 : string);
+      ignore (check_code exe "fleet --flows 0,100" 2 : string);
+      ignore (check_code exe "fleet --flows ''" 2 : string);
+      ignore (check_code exe "fleet --gateways 0" 2 : string);
+      ignore (check_code exe "fleet --probes -1" 2 : string);
+      ignore (check_code exe "fleet --duration 0" 2 : string);
+      ignore (check_code exe "fleet --load sinusoidal" 2 : string);
       ignore (check_code exe "fig4b --jobs 0" 2 : string)
 
 let test_bench_invalid_cli () =

@@ -362,6 +362,45 @@ let test_linkpad_recommend () =
   in
   Alcotest.(check bool) "stricter budget -> larger sigma" true (sigma_strict > sigma)
 
+(* --- fleet end-to-end --- *)
+
+let test_fleet_median_matches_single_flow () =
+  (* The fleet sweep's per-flow detection distribution and a plain
+     single-flow windowed estimate measure the same underlying quantity
+     (CIT at the calibration rates): the fleet median must sit near the
+     single-flow detection rate at matched parameters, far above the 0.5
+     guessing floor. *)
+  let plan = Scenarios.Workload.window_plan ~sample_size:100 ~max_windows:16 () in
+  let _pair, scored =
+    Scenarios.Workload.collect_windowed ~base:Scenarios.System.default_config
+      ~plan
+      ~features:[ Adversary.Feature.Sample_variance ]
+  in
+  let single =
+    match scored with
+    | s :: _ -> s.Scenarios.Workload.empirical
+    | [] -> Alcotest.fail "no scored feature"
+  in
+  let p =
+    Scenarios.Fleet.evaluate ~sample_size:100 ~max_windows:16 ~seed:48_000
+      ~flows:50 ~gateways:4 ~probes:5 ~duration:0.5 ()
+  in
+  Alcotest.(check int) "all probes ran" 5 (Array.length p.Scenarios.Fleet.vs);
+  Alcotest.(check bool) "fleet median above the guessing floor" true
+    (p.Scenarios.Fleet.v_p50 > 0.5);
+  Alcotest.(check bool) "single-flow detection above the floor" true
+    (single > 0.5);
+  let gap = Float.abs (p.Scenarios.Fleet.v_p50 -. single) in
+  if gap > 0.15 then
+    Alcotest.failf
+      "fleet median %.3f vs single-flow %.3f: gap %.3f exceeds 0.15"
+      p.Scenarios.Fleet.v_p50 single gap;
+  (* The pooled Wilson interval is a real interval containing the mean. *)
+  Alcotest.(check bool) "wilson brackets the pooled mean" true
+    (p.Scenarios.Fleet.wilson.Stats.Confidence.lo
+     <= p.Scenarios.Fleet.wilson.Stats.Confidence.hi
+    && p.Scenarios.Fleet.trials > 0)
+
 let suite =
   [
     Alcotest.test_case "system run counts" `Quick test_system_run_counts;
@@ -382,6 +421,8 @@ let suite =
     Alcotest.test_case "fig4b shape" `Slow test_fig4b_shape;
     Alcotest.test_case "fig5b monotone + headline" `Quick test_fig5b_monotone;
     Alcotest.test_case "multirate shape" `Slow test_multirate_shape;
+    Alcotest.test_case "fleet median = single-flow detection" `Slow
+      test_fleet_median_matches_single_flow;
     Alcotest.test_case "bounds table runs" `Quick test_bounds_table_runs;
     Alcotest.test_case "qos table near theory" `Slow test_qos_table_close_to_theory;
     Alcotest.test_case "size-padding ablation shape" `Slow test_size_padding_ablation_shape;

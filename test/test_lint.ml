@@ -45,6 +45,10 @@ let test_positive_fixtures () =
     "r001_bad: toplevel mutable" [ ("R001", 2, 12) ]
     (List.map pos (check_fixture "r001_bad.ml"));
   Alcotest.(check (list (triple string int int)))
+    "r001_fleet_bad: naive global fleet accumulators"
+    [ ("R001", 3, 20); ("R001", 4, 21) ]
+    (List.map pos (check_fixture "r001_fleet_bad.ml"));
+  Alcotest.(check (list (triple string int int)))
     "p001_bad: ad-hoc Marshal" [ ("P001", 2, 13) ]
     (List.map pos (check_fixture "p001_bad.ml"));
   Alcotest.check rules_t "s001_bad: missing .mli" [ "S001" ]
@@ -59,7 +63,7 @@ let test_negative_fixtures () =
       Alcotest.check rules_t (name ^ " is clean") []
         (rules (check_fixture name)))
     [ "d001_ok.ml"; "d002_ok.ml"; "d003_ok.ml"; "p001_ok.ml"; "r001_ok.ml";
-      "r001_shard_ok.ml"; "s001_ok.ml"; "s002_ok.ml" ]
+      "r001_shard_ok.ml"; "r001_fleet_ok.ml"; "s001_ok.ml"; "s002_ok.ml" ]
 
 (* --- suppression comments --- *)
 

@@ -23,6 +23,7 @@ let () =
       ("multirate+roc", Test_multirate_roc.suite);
       ("sizes", Test_sizes.suite);
       ("faults", Test_faults.suite);
+      ("fleet", Test_fleet.suite);
       ("exec", Test_exec.suite);
       ("resilience", Test_resilience.suite);
       ("obs", Test_obs.suite);
