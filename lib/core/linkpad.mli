@@ -66,4 +66,6 @@ val recommend_sigma_t :
 (** Design guideline (paper §6): calibrate the gateway offline, then return
     the smallest VIT σ_T keeping every feature's theoretical detection rate
     at or below [v_max] against an adversary limited to [n_max] PIATs per
-    observation.  [v_max] in (0.5, 1), [n_max >= 2]. *)
+    observation.  [v_max] in (0.5, 1), [n_max >= 2].  The calibration
+    runs simulate: they raise [Scenarios.Starvation.Tap_starved] /
+    [Desim.Sim.Event_budget_exceeded] as [Scenarios.System.run] does. *)

@@ -137,6 +137,50 @@ let arrivals_c = Obs.Metrics.counter "fleet.mux.arrivals"
 let dummies_c = Obs.Metrics.counter "fleet.mux.dummies"
 let flows_hwm = Obs.Metrics.gauge "fleet.mux.flows"
 
+(* The per-arrival fast path, hoisted to module level so the A001
+   hot-path manifest (lint/hot_paths.txt) can name it and verify it
+   allocation-free.  Everything the handler needs is threaded through
+   one context record built once per shard; the only allocation on the
+   path is the packet record itself, inside [Netsim.Packet.make_gen]
+   (waived in lint/BASELINE.json — packet identity needs it). *)
+type arrival_ctx = {
+  ac_table : Flow_table.t;
+  ac_c_lo : int array;        (* per-class first flow of this shard *)
+  ac_counts : int array;      (* per-class flow count of this shard *)
+  ac_cum : float array;       (* cumulative class rates *)
+  ac_k : int;
+  ac_rate_base : float;
+  ac_rng_pick : Prng.Rng.t;
+  ac_class_hits : int array;
+  ac_packet_size : int;
+  ac_idgen : Netsim.Packet.Id_gen.gen;
+  ac_input : Netsim.Link.port;
+}
+
+let rec last_nonempty counts c =
+  if counts.(c) > 0 then c else last_nonempty counts (c - 1)
+
+(* First class with u < cum.(c); empty classes have zero-width cum
+   intervals and are never picked.  Fall back to the last non-empty
+   class against FP rounding at the top edge. *)
+let rec pick_scan counts cum k u c =
+  if c = k then last_nonempty counts (k - 1)
+  else if counts.(c) > 0 && u < cum.(c) then c
+  else pick_scan counts cum k u (c + 1)
+
+let pick_class ctx u = pick_scan ctx.ac_counts ctx.ac_cum ctx.ac_k u 0
+
+let handle_arrival ctx now =
+  let c = pick_class ctx (Prng.Rng.float ctx.ac_rng_pick *. ctx.ac_rate_base) in
+  let flow =
+    ctx.ac_c_lo.(c) + Prng.Rng.int ctx.ac_rng_pick ~bound:ctx.ac_counts.(c)
+  in
+  Flow_table.record ctx.ac_table ~flow ~bytes:ctx.ac_packet_size ~now;
+  ctx.ac_class_hits.(c) <- ctx.ac_class_hits.(c) + 1;
+  ctx.ac_input
+    (Netsim.Packet.make_gen ctx.ac_idgen ~kind:Netsim.Packet.Payload
+       ~size_bytes:ctx.ac_packet_size ~created:now)
+
 let run_shard ?env cfg ~gateway =
   validate cfg;
   let lo, hi = shard_range cfg ~gateway in
@@ -192,30 +236,25 @@ let run_shard ?env cfg ~gateway =
             invalid_arg "Fleet.Mux: modulation outside [0, 1]";
           rate_base *. x
   in
-  let pick_class u =
-    (* first class with u < cum.(c); empty classes have zero-width cum
-       intervals and are never picked.  Fall back to the last non-empty
-       class against FP rounding at the top edge. *)
-    let rec go c =
-      if c = k then (
-        let rec back c = if counts.(c) > 0 then c else back (c - 1) in
-        back (k - 1))
-      else if counts.(c) > 0 && u < cum.(c) then c
-      else go (c + 1)
-    in
-    go 0
+  let ctx =
+    {
+      ac_table = table;
+      ac_c_lo = c_lo;
+      ac_counts = counts;
+      ac_cum = cum;
+      ac_k = k;
+      ac_rate_base = rate_base;
+      ac_rng_pick = rng_pick;
+      ac_class_hits = class_hits;
+      ac_packet_size = cfg.packet_size;
+      ac_idgen = idgen;
+      ac_input = input;
+    }
   in
   let source =
     Netsim.Traffic_gen.modulated_arrivals sim ~rng:rng_arrivals ~rate_fn
       ~rate_max:rate_base
-      ~f:(fun now ->
-        let c = pick_class (Prng.Rng.float rng_pick *. rate_base) in
-        let flow = c_lo.(c) + Prng.Rng.int rng_pick ~bound:counts.(c) in
-        Flow_table.record table ~flow ~bytes:cfg.packet_size ~now;
-        class_hits.(c) <- class_hits.(c) + 1;
-        input
-          (Netsim.Packet.make_gen idgen ~kind:Netsim.Packet.Payload
-             ~size_bytes:cfg.packet_size ~created:now))
+      ~f:(handle_arrival ctx)
       ()
   in
   Desim.Sim.run_until sim ~time:cfg.duration;

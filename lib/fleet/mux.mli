@@ -88,7 +88,8 @@ val run_shard : ?env:env -> config -> gateway:int -> shard_result
     [Flow_table.total_packets table = float arrivals] exactly); the
     shared gateway's dummies are amortized across the shard's flows with
     {!Flow_table.spread_dummies}.  Honours the sweep supervisor's
-    per-point event budget when one is armed.  Records
+    per-point event budget when one is armed (raising
+    [Desim.Sim.Event_budget_exceeded] on overrun).  Records
     [fleet.mux.arrivals], [fleet.mux.dummies], per-class
     [fleet.mux.class_arrivals{class=...}] counters and the
     [fleet.mux.flows] high-water gauge. *)

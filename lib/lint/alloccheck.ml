@@ -1,0 +1,162 @@
+(* A001: zero-allocation hot paths.
+
+   [lint/hot_paths.txt] names the functions the per-event simulator
+   budget depends on (heap pop, drain loop, flow-table recording, the
+   mux arrival handler).  Those functions and everything they reach
+   through resolved call edges must not allocate: a closure, a
+   list/array/record literal, a partial application or a float-boxing
+   polymorphic compare inside the per-event path turns into minor-GC
+   pressure multiplied by millions of events.
+
+   Manifest grammar, one entry per line ('#' comments, blanks ignored):
+
+     Event_queue.pop_exn          # module + function
+     Flow_table.record*           # trailing * globs the function name
+     desim/Sim.run_until          # optional lib-name prefix
+
+   Allocation sites inside [raise]/[invalid_arg]/[failwith] arguments
+   were already dropped at summary time — error paths are cold by
+   definition.  Sites are suppressible with [talint: allow A001] on the
+   offending line; a manifest entry that matches no linked function is
+   itself a finding (the manifest rots otherwise). *)
+
+type entry = {
+  e_line : int;
+  e_lib : string option;
+  e_module : string;
+  e_fn : string;  (* may end in '*' *)
+}
+
+let parse_manifest text =
+  let entries = ref [] and bad = ref [] in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      let s = String.trim s in
+      if s <> "" then
+        let lib, rest =
+          match String.index_opt s '/' with
+          | Some j ->
+              ( Some (String.sub s 0 j),
+                String.sub s (j + 1) (String.length s - j - 1) )
+          | None -> (None, s)
+        in
+        match String.split_on_char '.' rest with
+        | [ m; fn ]
+          when m <> "" && fn <> ""
+               && m.[0] >= 'A'
+               && m.[0] <= 'Z' ->
+            entries := { e_line = line; e_lib = lib; e_module = m; e_fn = fn }
+                       :: !entries
+        | _ -> bad := (line, s) :: !bad)
+    (String.split_on_char '\n' text);
+  (List.rev !entries, List.rev !bad)
+
+let glob_matches pat name =
+  if String.length pat > 0 && pat.[String.length pat - 1] = '*' then
+    let prefix = String.sub pat 0 (String.length pat - 1) in
+    String.starts_with ~prefix name
+  else pat = name
+
+let matches entry (nd : Callgraph.node) =
+  let s = nd.n_summary in
+  nd.n_fn.Symtab.fn_path = []
+  && glob_matches entry.e_fn nd.n_fn.Symtab.fn_name
+  && s.Symtab.s_module = entry.e_module
+  && (match entry.e_lib with
+     | None -> true
+     | Some lib -> s.Symtab.s_lib = lib)
+
+let run (g : Callgraph.t) ~manifest =
+  let entries, bad = parse_manifest manifest in
+  let nodes = Callgraph.nodes g in
+  let findings = ref [] in
+  List.iter
+    (fun (line, s) ->
+      findings :=
+        Finding.v ~rule:"A001" ~file:"lint/hot_paths.txt" ~line ~col:0
+          (Printf.sprintf
+             "malformed hot-path entry %S (expected [lib/]Module.fn with an \
+              optional trailing *)"
+             s)
+        :: !findings)
+    bad;
+  (* resolve entries to root nodes *)
+  let roots = ref [] in
+  List.iter
+    (fun e ->
+      let ids = ref [] in
+      Array.iter
+        (fun nd -> if matches e nd then ids := nd.Callgraph.n_id :: !ids)
+        nodes;
+      match !ids with
+      | [] ->
+          findings :=
+            Finding.v ~rule:"A001" ~file:"lint/hot_paths.txt" ~line:e.e_line
+              ~col:0
+              (Printf.sprintf
+                 "hot-path entry %s.%s matches no linked function; fix or \
+                  remove it"
+                 e.e_module e.e_fn)
+            :: !findings
+      | ids -> roots := ids @ !roots)
+    entries;
+  let parent = Callgraph.reach g ~roots:!roots ~enter:(fun _ -> true) in
+  (* root names per reached node, for the message *)
+  let root_of j =
+    let rec go j = let p = Hashtbl.find parent j in if p = j then j else go p in
+    nodes.(go j).Callgraph.n_qual
+  in
+  Hashtbl.iter
+    (fun j _ ->
+      let nd = nodes.(j) in
+      let s = nd.Callgraph.n_summary in
+      let sup = Callgraph.suppress_for g s.Symtab.s_file in
+      let in_hot =
+        if Hashtbl.find parent j = j then "hot-path function"
+        else
+          Printf.sprintf "(reached from hot path %s)" (root_of j)
+      in
+      let where =
+        if Hashtbl.find parent j = j then
+          Printf.sprintf "%s %s" in_hot nd.Callgraph.n_qual
+        else Printf.sprintf "%s %s" nd.Callgraph.n_qual in_hot
+      in
+      List.iter
+        (fun (a : Symtab.alloc) ->
+          if not (Suppress.allows sup ~line:a.Symtab.a_line ~rule:"A001") then
+            findings :=
+              Finding.v ~rule:"A001" ~file:s.Symtab.s_file ~line:a.Symtab.a_line
+                ~col:a.Symtab.a_col
+                (Printf.sprintf "%s allocates in %s: %s"
+                   (Symtab.alloc_kind_to_string a.Symtab.a_kind)
+                   where a.Symtab.a_what)
+              :: !findings)
+        nd.Callgraph.n_fn.Symtab.allocs;
+      (* partial applications: a call that supplies fewer arguments than
+         the resolved callee's required arity allocates a closure *)
+      List.iter
+        (fun (k, (c : Symtab.call)) ->
+          let callee = nodes.(k).Callgraph.n_fn in
+          let required = callee.Symtab.fn_arity - callee.Symtab.fn_opt in
+          if c.Symtab.args > 0 && c.Symtab.args < required then
+            if
+              not
+                (Suppress.allows sup ~line:c.Symtab.c_line ~rule:"A001")
+            then
+              findings :=
+                Finding.v ~rule:"A001" ~file:s.Symtab.s_file
+                  ~line:c.Symtab.c_line ~col:c.Symtab.c_col
+                  (Printf.sprintf
+                     "partial application of %s (%d of %d args) allocates in \
+                      %s"
+                     nodes.(k).Callgraph.n_qual c.Symtab.args required where)
+                :: !findings)
+        (Callgraph.succ g j))
+    parent;
+  !findings

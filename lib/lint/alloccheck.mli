@@ -1,0 +1,13 @@
+(** A001 — zero-allocation hot paths.
+
+    [run g ~manifest] resolves the [lint/hot_paths.txt] entries
+    ([[lib/]Module.fn], trailing [*] globs the function name) against
+    the call graph, takes the transitive-callee closure, and flags every
+    allocation site in it: closures, non-empty list/array literals,
+    record literals, float-boxing polymorphic compares, and partial
+    applications of resolved callees.  Allocations inside
+    [raise]/[invalid_arg]/[failwith] arguments are exempt (cold error
+    paths).  Malformed or unmatched manifest entries are findings
+    against [lint/hot_paths.txt] itself. *)
+
+val run : Callgraph.t -> manifest:string -> Finding.t list

@@ -1,0 +1,19 @@
+(** [lint/BASELINE.json] — committed waivers ([talint-baseline/1]).
+
+    Each waiver ([{rule, file, contains, reason}]) demotes matching
+    findings (same rule and file, message contains the substring) to
+    "baselined": still reported, but exit-code-neutral.  Malformed and
+    stale waivers (matching no current finding) surface as live B001
+    findings whose line number is the waiver's 1-based position in the
+    array, so the file cannot silently rot. *)
+
+val schema : string
+(** ["talint-baseline/1"]. *)
+
+val file_name : string
+(** ["lint/BASELINE.json"], relative to the project root. *)
+
+val apply :
+  text:string option -> Finding.t list -> Finding.t list * Finding.t list
+(** [apply ~text findings] is [(live, baselined)].  [text = None] (no
+    baseline file) leaves every finding live. *)

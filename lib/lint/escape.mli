@@ -1,0 +1,16 @@
+(** E001 — transitive exception escape.
+
+    Computes, per call-graph node, the set of project-declared
+    exceptions that can escape it (direct raises plus callee escapes,
+    minus handled ones; a catch-all absorbs callee contributions), then
+    flags every exported library value whose escape set contains an
+    exception not named in its [.mli] doc comment.
+
+    Standard-library exceptions are deliberately out of scope; findings
+    are suppressible with [talint: allow E001] at the definition. *)
+
+val run : Callgraph.t -> Finding.t list
+
+val doc_mentions : string -> string -> bool
+(** Does the doc text mention the exception name (substring match)?
+    Exposed for the test suite. *)

@@ -40,10 +40,35 @@ let all_rules =
       summary =
         "no Marshal outside lib/exec: checkpoint payloads are only safe \
          behind Exec.Journal's digest-keyed framing" };
+    { id = "D004";
+      summary =
+        "no polymorphic compare/=/min/max on float expressions in lib/stats \
+         and lib/adversary (floatarray accessor operands box; use \
+         Float.compare / Float.equal)" };
     { id = "S001"; summary = "every lib/ module has a corresponding .mli" };
     { id = "S002";
       summary =
         "no failwith in lib/; raise a declared exception (cf. Tap_starved)" };
+    { id = "E001";
+      summary =
+        "whole-program: a project-declared exception must not escape an \
+         exported value without being named in its .mli doc contract" };
+    { id = "T001";
+      summary =
+        "whole-program: no Scenarios.Sweep.mapi / Exec.Pool task may \
+         transitively reach ambient randomness, wall-clock reads or \
+         unsanctioned module-state mutation (sanctioned sinks: lib/prng, \
+         lib/obs, Atomic/mutex-guarded state)" };
+    { id = "A001";
+      summary =
+        "whole-program: hot-path functions from lint/hot_paths.txt and \
+         their transitive callees are allocation-free (no closures, \
+         list/array/record literals, partial applications or float-boxing \
+         polymorphic compares)" };
+    { id = "B001";
+      summary =
+        "baseline hygiene: lint/BASELINE.json entry is malformed or \
+         matches no current finding (stale waiver)" };
     { id = "E000"; summary = "file failed to parse (internal)" };
   ]
 
@@ -51,6 +76,9 @@ let all_rules =
 
 let d001_applies = function Lib sub -> sub <> "prng" | Bin | Bench -> false
 let d002_applies = function Lib sub -> sub <> "obs" | Bin -> true | Bench -> false
+let d004_applies = function
+  | Lib ("stats" | "adversary") -> true
+  | Lib _ | Bin | Bench -> false
 let d003_applies = function Lib _ -> true | Bin | Bench -> false
 let r001_applies = function Lib sub -> sub <> "obs" | Bin | Bench -> false
 let p001_applies = function Lib sub -> sub <> "exec" | Bin | Bench -> true
@@ -94,6 +122,64 @@ let normalize lid =
   match flatten [] lid with "Stdlib" :: (_ :: _ as rest) -> rest | p -> p
 
 let dotted = String.concat "."
+
+(* --- float polymorphic-compare heuristic (D004 / A001) ---
+
+   Purely syntactic float-ness: an operand is "surely float" when it is a
+   floatarray accessor application ([Float.Array.get]/[unsafe_get] — the
+   result boxes the moment it meets a polymorphic primitive), and
+   "probably float" when it is a float literal or float arithmetic.  The
+   ordered operators only fire on the sure form (compares against float
+   literals are idiomatic and compile to specialised code once the other
+   operand's type is known); [compare]/[min]/[max] also fire on the
+   probable form, because those remain polymorphic calls. *)
+
+let cmp_ops = [ "="; "<>"; "<"; "<="; ">"; ">="; "compare"; "min"; "max" ]
+
+let rec unparen e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_constraint (e, _) -> unparen e
+  | _ -> e
+
+let floatarray_accessor e =
+  match (unparen e).Parsetree.pexp_desc with
+  | Parsetree.Pexp_apply
+      ({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, _) -> (
+      match normalize txt with
+      | [ "Float"; "Array"; ("get" | "unsafe_get") ] -> true
+      | _ -> false)
+  | _ -> false
+
+let float_arith_ops =
+  [ "+."; "-."; "*."; "/."; "**"; "sqrt"; "exp"; "log"; "float_of_int" ]
+
+let floatish e =
+  let e = unparen e in
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_constant (Parsetree.Pconst_float _) -> true
+  | Parsetree.Pexp_apply
+      ({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, _) -> (
+      match normalize txt with
+      | [ op ] when List.mem op float_arith_ops -> true
+      | [ "Float"; "of_int" ] -> true
+      | _ -> false)
+  | _ -> false
+
+let float_polycmp e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_apply
+      ( { pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ },
+        (_, a) :: (_, b) :: _ ) -> (
+      match normalize txt with
+      | [ op ] when List.mem op cmp_ops ->
+          if floatarray_accessor a || floatarray_accessor b then Some op
+          else if
+            List.mem op [ "compare"; "min"; "max" ]
+            && (floatish a || floatish b)
+          then Some op
+          else None
+      | _ -> None)
+  | _ -> None
 
 (* --- the pass --- *)
 
@@ -171,6 +257,15 @@ let check input =
         add ~rule:"R001" ~loc:e.Parsetree.pexp_loc
           "non-empty array literal at module level is mutable state shared \
            across Exec.Pool domains"
+    | _ -> ());
+    (match float_polycmp e with
+    | Some op when d004_applies input.role ->
+        add ~rule:"D004" ~loc:e.Parsetree.pexp_loc
+          (Printf.sprintf
+             "polymorphic %s on a float expression boxes the operand and \
+              takes the NaN-unsafe structural path; use Float.compare / \
+              Float.equal (cf. the PR 5 sort fixes)"
+             op)
     | _ -> ());
     match e.Parsetree.pexp_desc with
     | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ ->

@@ -68,3 +68,17 @@ let allows t ~line ~rule =
   || (line > 1 && Hashtbl.mem t.per_line (line - 1, rule))
 
 let allows_anywhere t ~rule = Hashtbl.mem t.anywhere rule
+
+let entries t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.per_line []
+  |> List.sort compare
+
+let of_entries pairs =
+  let per_line = Hashtbl.create 16 in
+  let anywhere = Hashtbl.create 8 in
+  List.iter
+    (fun ((_, rule) as k) ->
+      Hashtbl.replace per_line k ();
+      Hashtbl.replace anywhere rule ())
+    pairs;
+  { per_line; anywhere }

@@ -18,3 +18,11 @@ val allows_anywhere : t -> rule:string -> bool
 
 val is_rule_id : string -> bool
 (** ["D001"]-shaped: one capital letter then three digits. *)
+
+val entries : t -> (int * string) list
+(** Every [(line, rule)] directive pair, sorted — the serialisable form
+    used by the incremental summary cache. *)
+
+val of_entries : (int * string) list -> t
+(** Rebuild a table from {!entries} output (cache warm path: the source
+    is not re-read). *)

@@ -57,17 +57,21 @@ let float_range t ~lo ~hi =
   assert (lo <= hi);
   lo +. ((hi -. lo) *. float t)
 
+(* Rejection sampling on the top bits to avoid modulo bias.  Top-level
+   (rather than an inner [let rec] closing over the locals) so the
+   per-arrival hot path pays no closure allocation — [Rng.int] sits in
+   the A001 closure of [Mux.handle_arrival]. *)
+let rec reject_draw t ~limit ~bound64 =
+  let v = Int64.shift_right_logical (bits64 t) 1 in
+  if v >= limit then reject_draw t ~limit ~bound64
+  else Int64.to_int (Int64.rem v bound64)
+
 let int t ~bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Rejection sampling on the top bits to avoid modulo bias. *)
   let bound64 = Int64.of_int bound in
   let max64 = Int64.max_int in
   let limit = Int64.sub max64 (Int64.rem max64 bound64) in
-  let rec draw () =
-    let v = Int64.shift_right_logical (bits64 t) 1 in
-    if v >= limit then draw () else Int64.to_int (Int64.rem v bound64)
-  in
-  draw ()
+  reject_draw t ~limit ~bound64
 
 let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
 

@@ -6,14 +6,17 @@ val run_classifier_backends :
 (** How much adversary sophistication buys, on identical CIT traces at
     n = 1000: KDE-Bayes per feature, plain-Gaussian per feature, the joint
     (variance, entropy) naive-Bayes, and the two spectral features.
-    Returns (adversary label, detection rate). *)
+    Returns (adversary label, detection rate).  Raises
+    [Sweep.Sweep_internal_error] if the sweep journal layer misbehaves. *)
 
 val run_mix_vs_padding :
   ?scale:float -> ?seed:int -> Format.formatter -> (string * float * float) list
 (** Chaum threshold mix vs CIT vs VIT as rate-hiding mechanisms:
     (scheme, worst-feature detection at n = 200, dummy overhead).  The mix
     hides message correspondence but its flush epochs track the rate, so
-    detection stays ≈ 1.0 — the motivation for link padding (paper §2). *)
+    detection stays ≈ 1.0 — the motivation for link padding (paper §2).
+    Raises [Sweep.Sweep_internal_error] if the sweep journal layer
+    misbehaves. *)
 
 val run_bounds_table : Format.formatter -> unit
 (** Pure analytics: for a grid of variance ratios and sample sizes, print
@@ -27,7 +30,9 @@ val run_size_padding :
     classes with different packet-size mixes but identical timing are
     told apart by per-window mean size and size entropy at ≈100% — until
     packets are padded to a constant 1500 B, which drops both to the 0.5
-    floor.  Returns (configuration, feature, detection rate). *)
+    floor.  Returns (configuration, feature, detection rate).  Raises
+    [Desim.Sim.Event_budget_exceeded] if a class simulation exhausts its
+    event budget. *)
 
 val run_roc :
   ?scale:float -> ?seed:int -> Format.formatter -> (int * string * float * float) list
@@ -40,4 +45,5 @@ val run_qos_table :
   ?seed:int -> Format.formatter -> (float * float * float) list
 (** Defender-side costs: for a sweep of timer rates, the analytic M/D/1
     mean payload delay vs the simulated receiver latency, plus overhead:
-    (timer_rate_pps, analytic_delay, simulated_delay). *)
+    (timer_rate_pps, analytic_delay, simulated_delay).  Raises
+    [Sweep.Sweep_internal_error] if the sweep journal layer misbehaves. *)

@@ -45,7 +45,9 @@ val measure_gateway_sigmas :
   ?seed:int -> ?piats:int -> ?jitter:Padding.Jitter.t -> unit -> gateway_sigmas
 (** The adversary's (and designer's) offline reconstruction: run the
     gateway alone (CIT, no cross traffic, tap at position 0) at both rates
-    and measure the PIAT sigmas.  Default 40 000 PIATs per rate. *)
+    and measure the PIAT sigmas.  Default 40 000 PIATs per rate.
+    Raises [Starvation.Tap_starved] / [Desim.Sim.Event_budget_exceeded]
+    as {!System.run} does. *)
 
 val print_setup : Format.formatter -> unit
 (** The §5 configuration table. *)

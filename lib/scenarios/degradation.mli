@@ -67,7 +67,9 @@ type run_result = {
 val run_faulty : config -> piats:int -> run_result
 (** One faulty end-to-end run: source → crash-wrapped gateway (faulty
     clock) → lossy wire → outage → tap → receiver.  Deterministic in
-    [config.seed]; [piats >= 1]. *)
+    [config.seed]; [piats >= 1].  Raises [Starvation.Tap_starved] /
+    [Desim.Sim.Event_budget_exceeded] as [System.run] does (heavy
+    outages can starve the tap). *)
 
 type point = {
   intensity : float;
@@ -110,4 +112,6 @@ val run :
   point list
 (** The degradation table: one {!evaluate} per intensity (default sweep
     0, 0.02, 0.05, 0.1, 0.2, 0.4), printed like the figure tables and
-    optionally saved as [degradation.csv]. *)
+    optionally saved as [degradation.csv].  Raises
+    [Sweep.Sweep_internal_error] if the sweep journal layer misbehaves
+    (ordinary point failures are classified, not raised). *)

@@ -23,4 +23,5 @@ val run :
   t
 (** Workload: 60 windows of the largest sample size per class (scaled,
     floor 8 windows).  [jitter] overrides the gateway model (used by the
-    mechanistic-vs-parametric ablation). *)
+    mechanistic-vs-parametric ablation).  Raises
+    [Sweep.Sweep_internal_error] if the sweep journal layer misbehaves. *)

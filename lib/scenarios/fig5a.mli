@@ -33,4 +33,7 @@ val run :
 (** Default sample size 2000 (paper's Fig. 5(a)); 24 windows per class per
     point (scaled, floor 6).  [law] maps a σ_T to the interval law
     (default: truncated normal around the calibration mean) — the
-    uniform/exponential ablation passes a different constructor. *)
+    uniform/exponential ablation passes a different constructor.
+    Raises [Starvation.Tap_starved] / [Desim.Sim.Event_budget_exceeded]
+    from the calibration run (as [System.run] does) and
+    [Sweep.Sweep_internal_error] if the sweep journal layer misbehaves. *)

@@ -31,4 +31,6 @@ val run :
   Format.formatter ->
   t
 (** [calibration] defaults to a fresh measurement run (pass one in to
-    reuse across figures). *)
+    reuse across figures) — that run simulates, so it raises
+    [Starvation.Tap_starved] / [Desim.Sim.Event_budget_exceeded] as
+    [System.run] does. *)

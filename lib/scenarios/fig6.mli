@@ -42,4 +42,6 @@ val run :
     collected by {!Workload.collect_windowed} (overlapping, default
     stride [sample_size/16]); [half_width] enables Wilson-CI early
     stopping.  The sweep digest folds the full window plan, so changing
-    any knob invalidates checkpoints instead of replaying stale cells. *)
+    any knob invalidates checkpoints instead of replaying stale cells.
+    Raises [Sweep.Sweep_internal_error] if the sweep journal layer
+    misbehaves. *)

@@ -44,4 +44,5 @@ val run :
     (hour, class) shard instead of once per window, which is what makes
     panel (b) tractable.  [half_width] enables Wilson-CI early stopping.
     Each time point is simulated quasi-statically at that hour's
-    utilization. *)
+    utilization.  Raises [Sweep.Sweep_internal_error] if the sweep
+    journal layer misbehaves. *)

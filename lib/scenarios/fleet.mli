@@ -80,4 +80,5 @@ val run :
 (** The fleet sweep table ([fleet.csv] under [csv_dir]).  Flow counts
     are scaled by [scale]; the sweep digest folds every input that
     determines point values.  Raises [Invalid_argument] on non-positive
-    flow counts, gateways or probes. *)
+    flow counts, gateways or probes, and [Sweep.Sweep_internal_error] if
+    the sweep journal layer misbehaves. *)

@@ -24,4 +24,5 @@ val run :
   Format.formatter ->
   t
 (** Defaults: rates 10/20/30/40 pps, sample size 1000, CIT at the gateway,
-    30 windows per class (scaled, floor 6). *)
+    30 windows per class (scaled, floor 6).  Raises
+    [Sweep.Sweep_internal_error] if the sweep journal layer misbehaves. *)

@@ -31,7 +31,9 @@ val run_until_tap_count :
 (** Advance [sim] in chunks sized [missing / expected_rate * slack]
     (at least [min_chunk] seconds) until the tap holds [target]
     timestamps.  Raises {!Tap_starved} when the chunk budget runs out or
-    the tap makes no progress for many consecutive chunks. *)
+    the tap makes no progress for many consecutive chunks; raises
+    [Desim.Sim.Event_budget_exceeded] when a supervisor-armed event
+    budget trips first. *)
 
 val pp_starved : Format.formatter -> exn -> bool
 (** Render a {!Tap_starved} exception as an operator-facing report

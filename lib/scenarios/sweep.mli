@@ -114,7 +114,12 @@ val mapi :
     if at least one point is missing from the journal; if it fails, all
     missing points are marked failed with its diagnostic.  [task] receives
     the attempt number (0 on the first try — derive retry seeds with
-    {!attempt_seed}), the point index and the element. *)
+    {!attempt_seed}), the point index and the element.
+
+    Raises {!Sweep_internal_error} if the journal layer itself
+    misbehaves (rows lost or duplicated across a checkpoint cycle) —
+    never for ordinary task failures, which are classified into
+    {!failures} cells instead. *)
 
 val ok_values : 'b cell list -> 'b list
 (** Values of the [Point_ok] cells, in point order. *)

@@ -44,8 +44,9 @@ val arm_event_budget : Desim.Sim.t -> unit
 val run : ?fresh_arena:bool -> config -> piats:int -> result
 (** Simulate until the tap has recorded [piats] inter-arrival times beyond
     the warm-up, then stop.  Raises [Desim.Sim.Event_budget_exceeded] if
-    a supervising sweep armed an event budget and the run overran it.
-    Deterministic in [config.seed].
+    a supervising sweep armed an event budget and the run overran it, and
+    [Starvation.Tap_starved] if the tap stops making progress before the
+    budget is met.  Deterministic in [config.seed].
     [piats >= 1].  By default the run recycles the calling domain's
     {!Arena} (simulator, tap vectors, gateway buffers) — observably
     identical to a fresh simulator but without re-growing storage on every
@@ -69,12 +70,17 @@ val run_sharded :
     statistics, not absolute-time series.  Note each shard pays its own
     [warmup_piats], so prefer few large shards over many small ones.
 
-    Raises [Invalid_argument] if [shards < 1] or [piats < shards]. *)
+    Raises [Invalid_argument] if [shards < 1] or [piats < shards]; like
+    {!run}, raises [Starvation.Tap_starved] or
+    [Desim.Sim.Event_budget_exceeded] when a shard starves or overruns
+    an armed event budget. *)
 
 val run_unpadded : ?fresh_arena:bool -> config -> packets:int -> result
 (** Baseline without any gateway: the payload stream crosses the same hop
     chain in the clear ([timer]/[jitter] ignored, [piats] are payload
-    inter-arrivals).  Used by the packet-counting attack example. *)
+    inter-arrivals).  Used by the packet-counting attack example.
+    Raises [Starvation.Tap_starved] / [Desim.Sim.Event_budget_exceeded]
+    as {!run} does. *)
 
 val run_mix :
   ?fresh_arena:bool ->
@@ -85,7 +91,9 @@ val run_mix :
   result
 (** Same assembly but with a Chaum-style threshold {!Padding.Mix} instead
     of a timer gateway ([config.timer]/[jitter] ignored).  The batch-flush
-    epochs leak the payload rate; used by the mix-vs-padding baseline. *)
+    epochs leak the payload rate; used by the mix-vs-padding baseline.
+    Raises [Starvation.Tap_starved] / [Desim.Sim.Event_budget_exceeded]
+    as {!run} does. *)
 
 val run_adaptive :
   ?fresh_arena:bool ->
@@ -96,4 +104,6 @@ val run_adaptive :
   result
 (** Same assembly but with the Timmerman-style {!Padding.Adaptive} gateway
     instead of the fixed-rate one ([config.timer] is ignored; [jitter]
-    still applies).  Periods default to 10 ms / 40 ms. *)
+    still applies).  Periods default to 10 ms / 40 ms.
+    Raises [Starvation.Tap_starved] / [Desim.Sim.Event_budget_exceeded]
+    as {!run} does. *)

@@ -125,4 +125,5 @@ val collect_windowed :
     early-stopping decision are functions of [(base.seed, plan)] only —
     bit-identical at any [--jobs].  PIAT variances come from merged
     streaming moments ({!Stats.Stream.Moments.merge}), not a concatenated
-    trace. *)
+    trace.  Raises [Starvation.Tap_starved] /
+    [Desim.Sim.Event_budget_exceeded] as {!System.run} does. *)

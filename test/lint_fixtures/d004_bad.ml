@@ -1,0 +1,2 @@
+let med xs i j = Float.Array.get xs i < Float.Array.get xs j
+let worst a = compare a 1.0

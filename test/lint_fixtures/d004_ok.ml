@@ -1,0 +1,2 @@
+let med xs i j = Float.compare (Float.Array.get xs i) (Float.Array.get xs j)
+let near a = a < 0.5

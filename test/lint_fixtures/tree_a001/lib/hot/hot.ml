@@ -1,0 +1,1 @@
+let step xs = Util.bump xs

@@ -1,0 +1,2 @@
+val step : int list -> int list
+(** The manifest-listed hot entry point (allocation-free by contract). *)

@@ -1,0 +1,1 @@
+let bump xs = List.map (fun x -> x + 1) xs

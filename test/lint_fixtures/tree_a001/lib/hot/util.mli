@@ -1,0 +1,2 @@
+val bump : int list -> int list
+(** Callee reached from the hot path; its closure is the seeded A001. *)

@@ -1,0 +1,5 @@
+val entry : int -> int
+(** Doubles then relays the input. *)
+
+val safe : int -> int
+(** Like [entry] but returns 0 on the threshold error. *)

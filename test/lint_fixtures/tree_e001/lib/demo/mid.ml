@@ -1,0 +1,1 @@
+let relay n = Deep.boom_if (n + 1)

@@ -1,0 +1,2 @@
+val relay : int -> int
+(** Bumps then forwards.  Raises [Boom] via {!Deep.boom_if}. *)

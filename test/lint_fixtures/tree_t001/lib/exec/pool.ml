@@ -1,0 +1,1 @@
+let parallel_map f xs = List.map f xs

@@ -1,0 +1,2 @@
+val parallel_map : ('a -> 'b) -> 'a list -> 'b list
+(** Fixture stand-in for the real Exec.Pool fan-out. *)

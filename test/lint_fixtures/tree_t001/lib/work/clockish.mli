@@ -1,0 +1,2 @@
+val read : unit -> float
+(** Fixture wall-clock read; the interprocedural sink. *)

@@ -1,0 +1,1 @@
+let run xs = Exec.Pool.parallel_map (fun x -> x +. Clockish.read ()) xs

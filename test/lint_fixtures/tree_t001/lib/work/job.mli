@@ -1,0 +1,2 @@
+val run : float list -> float list
+(** Fixture parallel map whose task body reads the clock via a helper. *)

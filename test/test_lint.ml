@@ -1,18 +1,24 @@
-(* Golden suite for the talint static-analysis pass: one positive and one
-   negative fixture per rule under lint_fixtures/, suppression-comment
-   behaviour, role exemptions, the talint/1 JSON schema, and a run over
-   the real tree asserting the gate is green. *)
+(* Golden suite for the talint static-analysis pass: per-file rule
+   fixtures (positive and negative) under lint_fixtures/, suppression
+   comments, role exemptions, and the whole-program layer — fixture
+   TREES for the interprocedural passes (E001 exception escape through
+   two call hops, T001 clock taint via a helper module, A001 closure
+   allocation in a hot-path callee), the lint/BASELINE.json waiver
+   workflow, the incremental summary cache, the talint/2 JSON schema,
+   and a run over the real tree asserting the gate is green. *)
 
 let fixture_dir () =
   (* cwd is _build/default/test under [dune runtest] but the project root
      under [dune exec test/test_main.exe]; accept either. *)
   List.find_opt Sys.file_exists [ "lint_fixtures"; "test/lint_fixtures" ]
 
-let read_fixture name =
+let fixture_path name =
   match fixture_dir () with
   | None -> Alcotest.fail "lint_fixtures directory not found"
-  | Some dir ->
-      In_channel.with_open_bin (Filename.concat dir name) In_channel.input_all
+  | Some dir -> Filename.concat dir name
+
+let read_fixture name =
+  In_channel.with_open_bin (fixture_path name) In_channel.input_all
 
 let check_fixture ?(role = Lint.Rules.Lib "fixture") ?(mli_exists = true) name =
   Lint.Rules.check
@@ -26,7 +32,18 @@ let rules fs = List.map (fun f -> f.Lint.Finding.rule) fs
 let pos f =
   (f.Lint.Finding.rule, f.Lint.Finding.line, f.Lint.Finding.col)
 
+let span f =
+  (f.Lint.Finding.rule, f.Lint.Finding.file, f.Lint.Finding.line,
+   f.Lint.Finding.col)
+
 let rules_t = Alcotest.(list string)
+let span_t = Alcotest.(list (pair (pair string string) (pair int int)))
+let spans fs = List.map (fun f -> let r, fi, l, c = span f in ((r, fi), (l, c))) fs
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go k = k + m <= n && (String.sub hay k m = needle || go (k + 1)) in
+  m = 0 || go 0
 
 (* --- positive fixtures: rule id AND location must be exact --- *)
 
@@ -41,6 +58,10 @@ let test_positive_fixtures () =
   Alcotest.(check (list (triple string int int)))
     "d003_bad: stdout print" [ ("D003", 2, 15) ]
     (List.map pos (check_fixture "d003_bad.ml"));
+  Alcotest.(check (list (triple string int int)))
+    "d004_bad: floatarray ordered compare + polymorphic compare"
+    [ ("D004", 1, 17); ("D004", 2, 14) ]
+    (List.map pos (check_fixture ~role:(Lint.Rules.Lib "stats") "d004_bad.ml"));
   Alcotest.(check (list (triple string int int)))
     "r001_bad: toplevel mutable" [ ("R001", 2, 12) ]
     (List.map pos (check_fixture "r001_bad.ml"));
@@ -63,7 +84,14 @@ let test_negative_fixtures () =
       Alcotest.check rules_t (name ^ " is clean") []
         (rules (check_fixture name)))
     [ "d001_ok.ml"; "d002_ok.ml"; "d003_ok.ml"; "p001_ok.ml"; "r001_ok.ml";
-      "r001_shard_ok.ml"; "r001_fleet_ok.ml"; "s001_ok.ml"; "s002_ok.ml" ]
+      "r001_shard_ok.ml"; "r001_fleet_ok.ml"; "s001_ok.ml"; "s002_ok.ml" ];
+  (* D004 negatives: Float.compare is the fix; ordered ops on a float
+     literal compile to specialised code and stay silent; the rule is
+     scoped to lib/stats and lib/adversary. *)
+  Alcotest.check rules_t "d004_ok is clean in lib/stats" []
+    (rules (check_fixture ~role:(Lint.Rules.Lib "stats") "d004_ok.ml"));
+  Alcotest.check rules_t "d004_bad is out of scope in lib/desim" []
+    (rules (check_fixture ~role:(Lint.Rules.Lib "desim") "d004_bad.ml"))
 
 (* --- suppression comments --- *)
 
@@ -126,54 +154,215 @@ let test_parse_error () =
   Alcotest.check rules_t "unparseable file reports E000" [ "E000" ]
     (rules (check_source "let = ) ="))
 
-(* --- the talint/1 JSON report --- *)
+(* --- the fixture trees: one seeded violation per whole-program pass --- *)
+
+let run_tree ?cache_path name =
+  Lint.Driver.run ?cache_path ~root:(fixture_path name) ()
+
+let test_tree_e001 () =
+  let r = run_tree "tree_e001" in
+  Alcotest.check span_t "one E001 at the exported entry point"
+    [ (("E001", "lib/demo/api.ml"), (1, 0)) ]
+    (spans r.Lint.Driver.findings);
+  let msg = (List.hd r.Lint.Driver.findings).Lint.Finding.message in
+  Alcotest.(check bool)
+    "message names the exception" true (contains msg "may raise Boom");
+  Alcotest.(check bool)
+    "witness chain crosses both hops" true
+    (contains msg "Api.entry -> Mid.relay -> Deep.boom_if")
+(* [Api.safe] catches Boom and [Mid]/[Deep] declare it in their doc
+   contracts, so the only finding is the undocumented [Api.entry]. *)
+
+let test_tree_t001 () =
+  let r = run_tree "tree_t001" in
+  Alcotest.check span_t "one T001 at the fan-out call site"
+    [ (("T001", "lib/work/job.ml"), (1, 13)) ]
+    (spans r.Lint.Driver.findings);
+  let msg = (List.hd r.Lint.Driver.findings).Lint.Finding.message in
+  Alcotest.(check bool)
+    "sink is the helper's clock read" true
+    (contains msg "wall-clock read (Unix.gettimeofday) at lib/work/clockish.ml:2");
+  Alcotest.(check bool)
+    "call chain goes through the helper" true
+    (contains msg "Job.run -> Clockish.read")
+
+let test_tree_a001 () =
+  let r = run_tree "tree_a001" in
+  Alcotest.check span_t "one A001 in the hot-path callee"
+    [ (("A001", "lib/hot/util.ml"), (1, 23)) ]
+    (spans r.Lint.Driver.findings);
+  let msg = (List.hd r.Lint.Driver.findings).Lint.Finding.message in
+  Alcotest.(check bool)
+    "closure attributed to the manifest root" true
+    (contains msg "closure allocates in Util.bump (reached from hot path Hot.step)")
+
+let test_deterministic_order () =
+  let a = run_tree "tree_t001" and b = run_tree "tree_t001" in
+  Alcotest.(check (list string))
+    "two runs render identically"
+    (List.map Lint.Finding.to_string a.Lint.Driver.findings)
+    (List.map Lint.Finding.to_string b.Lint.Driver.findings);
+  let r = run_tree "tree_e001" in
+  Alcotest.(check bool)
+    "findings come out sorted" true
+    (let fs = r.Lint.Driver.findings in
+     List.sort Lint.Finding.compare fs = fs)
+
+(* --- the baseline waiver workflow --- *)
+
+let with_tree_copy name f =
+  let dir = Filename.temp_file "talint_tree" "" in
+  Sys.remove dir;
+  ignore
+    (Sys.command
+       (Printf.sprintf "cp -r %s %s"
+          (Filename.quote (fixture_path name))
+          (Filename.quote dir))
+      : int);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore
+        (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)) : int))
+    (fun () -> f dir)
+
+let write_file path text =
+  Out_channel.with_open_bin path (fun oc -> output_string oc text)
+
+let test_baseline_waivers () =
+  (* tree_a001's copy already carries lint/hot_paths.txt, so dropping a
+     BASELINE.json next to it exercises the full driver wiring. *)
+  with_tree_copy "tree_a001" (fun dir ->
+      let baseline = Filename.concat dir "lint/BASELINE.json" in
+      (* 1. a matching waiver demotes the finding to baselined *)
+      write_file baseline
+        {|{"schema":"talint-baseline/1","waivers":[
+           {"rule":"A001","file":"lib/hot/util.ml",
+            "contains":"closure allocates","reason":"fixture waiver"}]}|};
+      let r = Lint.Driver.run ~root:dir () in
+      Alcotest.check span_t "no live findings" [] (spans r.Lint.Driver.findings);
+      Alcotest.check span_t "the A001 is baselined, still reported"
+        [ (("A001", "lib/hot/util.ml"), (1, 23)) ]
+        (spans r.Lint.Driver.baselined);
+      (* 2. a stale waiver is itself a live B001 at its array index *)
+      write_file baseline
+        {|{"schema":"talint-baseline/1","waivers":[
+           {"rule":"A001","file":"lib/hot/util.ml",
+            "contains":"closure allocates","reason":"fixture waiver"},
+           {"rule":"T001","file":"lib/hot/hot.ml",
+            "contains":"never matches","reason":"stale"}]}|};
+      let r = Lint.Driver.run ~root:dir () in
+      Alcotest.check span_t "stale waiver surfaces as B001"
+        [ (("B001", "lint/BASELINE.json"), (2, 0)) ]
+        (spans r.Lint.Driver.findings);
+      (* 3. a waiver without a reason is malformed *)
+      write_file baseline
+        {|{"schema":"talint-baseline/1","waivers":[
+           {"rule":"A001","file":"lib/hot/util.ml",
+            "contains":"closure allocates"}]}|};
+      let r = Lint.Driver.run ~root:dir () in
+      Alcotest.(check bool)
+        "malformed waiver surfaces as B001" true
+        (List.exists
+           (fun f ->
+             f.Lint.Finding.rule = "B001"
+             && contains f.Lint.Finding.message "malformed")
+           r.Lint.Driver.findings))
+
+(* --- the incremental summary cache --- *)
+
+let test_incremental_cache () =
+  with_tree_copy "tree_e001" (fun dir ->
+      let cache = Filename.temp_file "talint_cache" ".json" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists cache then Sys.remove cache)
+        (fun () ->
+          let r1 = Lint.Driver.run ~cache_path:cache ~root:dir () in
+          Alcotest.(check (pair int int))
+            "cold run parses everything" (0, 3)
+            (r1.Lint.Driver.cache_hits, r1.Lint.Driver.cache_misses);
+          let r2 = Lint.Driver.run ~cache_path:cache ~root:dir () in
+          Alcotest.(check (pair int int))
+            "warm run parses nothing" (3, 0)
+            (r2.Lint.Driver.cache_hits, r2.Lint.Driver.cache_misses);
+          Alcotest.check span_t "warm findings identical"
+            (spans r1.Lint.Driver.findings)
+            (spans r2.Lint.Driver.findings);
+          (* editing the .mli must invalidate the .ml's summary: the doc
+             contract feeds E001 *)
+          let mli = Filename.concat dir "lib/demo/api.mli" in
+          let old = In_channel.with_open_bin mli In_channel.input_all in
+          write_file mli (old ^ "\n(* touched *)\n");
+          let r3 = Lint.Driver.run ~cache_path:cache ~root:dir () in
+          Alcotest.(check (pair int int))
+            "mli edit re-parses exactly that file" (2, 1)
+            (r3.Lint.Driver.cache_hits, r3.Lint.Driver.cache_misses);
+          Alcotest.check span_t "findings unchanged by a comment edit"
+            (spans r1.Lint.Driver.findings)
+            (spans r3.Lint.Driver.findings)))
+
+(* --- the talint/2 JSON report --- *)
 
 let test_json_schema () =
-  let summary =
-    {
-      Lint.Driver.root = "/tmp/x";
-      files = 2;
-      findings =
-        [
-          Lint.Finding.v ~rule:"D003" ~file:"lib/a/b.ml" ~line:3 ~col:7
-            "printing \"with quotes\"\nand a newline";
-        ];
-    }
-  in
+  let summary = run_tree "tree_e001" in
   match Obs.Json.of_string (Lint.Driver.to_json summary) with
-  | Error msg -> Alcotest.fail ("talint/1 report is not valid JSON: " ^ msg)
+  | Error msg -> Alcotest.fail ("talint/2 report is not valid JSON: " ^ msg)
   | Ok json ->
       let member k = Obs.Json.member k json in
       Alcotest.(check bool)
-        "schema is talint/1" true
-        (member "schema" = Some (Obs.Json.Str "talint/1"));
+        "schema is talint/2" true
+        (member "schema" = Some (Obs.Json.Str "talint/2"));
       Alcotest.(check bool)
         "files_scanned" true
-        (member "files_scanned" = Some (Obs.Json.Num 2.0));
+        (member "files_scanned" = Some (Obs.Json.Num 3.0));
       Alcotest.(check bool)
         "count" true
         (member "count" = Some (Obs.Json.Num 1.0));
+      Alcotest.(check bool)
+        "baselined count" true
+        (member "baselined" = Some (Obs.Json.Num 0.0));
+      (match member "cache" with
+      | Some c ->
+          Alcotest.(check bool)
+            "cold cache stats" true
+            (Obs.Json.member "hits" c = Some (Obs.Json.Num 0.0)
+            && Obs.Json.member "misses" c = Some (Obs.Json.Num 3.0))
+      | None -> Alcotest.fail "no cache object");
+      (match member "callgraph" with
+      | Some cg ->
+          Alcotest.(check bool)
+            "callgraph stats" true
+            (Obs.Json.member "modules" cg = Some (Obs.Json.Num 3.0)
+            && Obs.Json.member "unresolved" cg = Some (Obs.Json.Num 0.0))
+      | None -> Alcotest.fail "no callgraph object");
+      (match member "passes" with
+      | Some (Obs.Json.Arr ps) ->
+          let count id =
+            List.find_map
+              (fun p ->
+                if Obs.Json.member "id" p = Some (Obs.Json.Str id) then
+                  Obs.Json.member "count" p
+                else None)
+              ps
+          in
+          Alcotest.(check bool)
+            "E001 pass counted" true (count "E001" = Some (Obs.Json.Num 1.0));
+          Alcotest.(check bool)
+            "T001/A001/B001 passes listed" true
+            (count "T001" <> None && count "A001" <> None
+            && count "B001" <> None)
+      | _ -> Alcotest.fail "passes is not an array");
       (match member "findings" with
       | Some (Obs.Json.Arr [ f ]) ->
           Alcotest.(check bool)
             "rule" true
-            (Obs.Json.member "rule" f = Some (Obs.Json.Str "D003"));
+            (Obs.Json.member "rule" f = Some (Obs.Json.Str "E001"));
           Alcotest.(check bool)
             "file" true
-            (Obs.Json.member "file" f = Some (Obs.Json.Str "lib/a/b.ml"));
+            (Obs.Json.member "file" f
+            = Some (Obs.Json.Str "lib/demo/api.ml"));
           Alcotest.(check bool)
-            "line" true
-            (Obs.Json.member "line" f = Some (Obs.Json.Num 3.0));
-          Alcotest.(check bool)
-            "col" true
-            (Obs.Json.member "col" f = Some (Obs.Json.Num 7.0));
-          Alcotest.(check bool)
-            "message survives escaping" true
-            (match Obs.Json.member "message" f with
-            | Some (Obs.Json.Str s) ->
-                String.length s > 0
-                && String.contains s '"' && String.contains s '\n'
-            | _ -> false)
+            "live finding carries baselined:false" true
+            (Obs.Json.member "baselined" f = Some (Obs.Json.Bool false))
       | _ -> Alcotest.fail "findings is not a one-element array")
 
 (* --- the real tree must be clean --- *)
@@ -182,15 +371,24 @@ let test_real_tree_clean () =
   match Lint.Driver.find_root () with
   | None -> Alcotest.fail "cannot locate the project root from the test cwd"
   | Some root ->
-      let report = Lint.Driver.run ~root in
+      let report = Lint.Driver.run ~root () in
       Alcotest.(check bool)
         "scanned a real tree (>= 80 files)" true
         (report.Lint.Driver.files >= 80);
       Alcotest.(check (list string))
-        "zero findings on the shipped tree" []
-        (List.map Lint.Finding.to_string report.Lint.Driver.findings)
+        "zero unbaselined findings on the shipped tree" []
+        (List.map Lint.Finding.to_string report.Lint.Driver.findings);
+      let cg = report.Lint.Driver.cg in
+      Alcotest.(check bool)
+        "the call graph actually linked (>= 500 functions, >= 1000 edges)"
+        true
+        (cg.Lint.Callgraph.cg_functions >= 500
+        && cg.Lint.Callgraph.cg_edges >= 1000);
+      Alcotest.(check int)
+        "every project-module call resolves" 0
+        cg.Lint.Callgraph.cg_unresolved
 
-(* --- CLI end-to-end: exit codes and JSON on a violating tree --- *)
+(* --- CLI end-to-end: exit codes, talint/2 JSON, --rules --- *)
 
 let talint_exe () =
   List.find_opt Sys.file_exists
@@ -233,7 +431,7 @@ let test_cli_roundtrip () =
               | Ok j ->
                   Alcotest.(check bool)
                     "schema" true
-                    (Obs.Json.member "schema" j = Some (Obs.Json.Str "talint/1"));
+                    (Obs.Json.member "schema" j = Some (Obs.Json.Str "talint/2"));
                   Alcotest.(check bool)
                     "two findings (D001 + S001)" true
                     (Obs.Json.member "count" j = Some (Obs.Json.Num 2.0)));
@@ -243,6 +441,54 @@ let test_cli_roundtrip () =
                      (Filename.quote exe))
               in
               Alcotest.(check int) "bad --format exits 2" 2 code2))
+
+let test_cli_rules () =
+  match talint_exe () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      let out = Filename.temp_file "talint_rules" ".txt" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove out)
+        (fun () ->
+          let code =
+            Sys.command
+              (Printf.sprintf "%s --rules >%s 2>&1" (Filename.quote exe)
+                 (Filename.quote out))
+          in
+          Alcotest.(check int) "--rules exits 0" 0 code;
+          let text = read_file out in
+          List.iter
+            (fun id ->
+              Alcotest.(check bool)
+                (id ^ " listed") true (contains text id))
+            [ "D001"; "D004"; "E001"; "T001"; "A001"; "B001" ];
+          let code =
+            Sys.command
+              (Printf.sprintf "%s --rules --format json >%s 2>&1"
+                 (Filename.quote exe) (Filename.quote out))
+          in
+          Alcotest.(check int) "--rules --format json exits 0" 0 code;
+          match Obs.Json.of_string (read_file out) with
+          | Error msg -> Alcotest.fail ("rules JSON invalid: " ^ msg)
+          | Ok j ->
+              Alcotest.(check bool)
+                "talint-rules/1 schema" true
+                (Obs.Json.member "schema" j
+                = Some (Obs.Json.Str "talint-rules/1"));
+              (match Obs.Json.member "rules" j with
+              | Some (Obs.Json.Arr rs) ->
+                  Alcotest.(check bool)
+                    "all rule ids have summaries" true
+                    (List.for_all
+                       (fun r ->
+                         match
+                           (Obs.Json.member "id" r, Obs.Json.member "summary" r)
+                         with
+                         | Some (Obs.Json.Str _), Some (Obs.Json.Str s) ->
+                             String.length s > 0
+                         | _ -> false)
+                       rs)
+              | _ -> Alcotest.fail "rules is not an array"))
 
 let suite =
   [
@@ -255,9 +501,22 @@ let suite =
     Alcotest.test_case "role exemptions (obs/prng/bin/bench)" `Quick
       test_role_exemptions;
     Alcotest.test_case "parse error reports E000" `Quick test_parse_error;
-    Alcotest.test_case "talint/1 JSON schema" `Quick test_json_schema;
-    Alcotest.test_case "real tree has zero findings" `Quick
+    Alcotest.test_case "E001: undeclared escape through two hops" `Quick
+      test_tree_e001;
+    Alcotest.test_case "T001: clock taint via a helper module" `Quick
+      test_tree_t001;
+    Alcotest.test_case "A001: closure alloc in a hot-path callee" `Quick
+      test_tree_a001;
+    Alcotest.test_case "finding order is deterministic" `Quick
+      test_deterministic_order;
+    Alcotest.test_case "baseline waivers: match, stale, malformed" `Quick
+      test_baseline_waivers;
+    Alcotest.test_case "incremental cache: warm hits, mli invalidates" `Quick
+      test_incremental_cache;
+    Alcotest.test_case "talint/2 JSON schema" `Quick test_json_schema;
+    Alcotest.test_case "real tree has zero unbaselined findings" `Quick
       test_real_tree_clean;
     Alcotest.test_case "CLI: exit 1 + JSON on violations, 2 on bad flags"
       `Quick test_cli_roundtrip;
+    Alcotest.test_case "CLI: --rules in text and JSON" `Quick test_cli_rules;
   ]
