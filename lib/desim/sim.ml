@@ -125,6 +125,12 @@ let check_budget t =
   if t.events_processed > t.budget_limit then
     raise (Event_budget_exceeded { max_events = t.budget_limit })
 
+let account_external t ~events ~queue_hwm =
+  if events < 0 then invalid_arg "Sim.account_external: negative events";
+  if queue_hwm < 0 then invalid_arg "Sim.account_external: negative queue_hwm";
+  t.events_processed <- t.events_processed + events;
+  if queue_hwm > t.queue_hwm then t.queue_hwm <- queue_hwm
+
 let run_until t ~time =
   if Float.is_nan time then invalid_arg "Sim.run_until: NaN time";
   check_budget t;

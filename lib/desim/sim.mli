@@ -76,6 +76,17 @@ val every :
     record, so a steady-state period performs no allocation beyond the
     interval function's own. *)
 
+val account_external : t -> events:int -> queue_hwm:int -> unit
+(** Fold work performed outside the event queue into the simulator's
+    local tallies, as if [events] events had been popped and the queue
+    had reached depth [queue_hwm].  The fused scenario kernels use this
+    to stay comparable with the event-loop path: per processed chunk
+    they account the events the loop {e would} have dispatched, then
+    call {!run_until} on the (empty) queue so the clock advances and the
+    event budget is enforced with the same chunk granularity and the
+    same totals as a real drain.  Raises [Invalid_argument] on negative
+    arguments. *)
+
 val run_until : t -> time:float -> unit
 (** Execute all events with timestamp <= [time]; afterwards [now] = [time].
     Callbacks may schedule more events, including at the current instant.

@@ -18,6 +18,8 @@ let get t i =
   if i < 0 || i >= t.len then invalid_arg "Fvec.get: index out of range";
   t.data.(i)
 
+let unsafe_get t i = Array.unsafe_get t.data i
+
 let to_array t = Array.sub t.data 0 t.len
 let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
 let clear t = t.len <- 0

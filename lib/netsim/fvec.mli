@@ -9,6 +9,10 @@ val push : t -> float -> unit
 val get : t -> int -> float
 (** Raises on out-of-range index. *)
 
+val unsafe_get : t -> int -> float
+(** Unchecked read for hot loops that already bound the index by
+    {!length} — the fused kernels' stream-consumption path. *)
+
 val to_array : t -> float array
 val last : t -> float option
 val clear : t -> unit

@@ -1,0 +1,267 @@
+(* Fused per-hop stage: one chain hop's {Link + Router + cross source}
+   executed as a batch loop instead of discrete events.
+
+   Per chunk the stage merges four time-ordered streams — padded sends
+   handed down by the upstream stage, this hop's own Poisson cross
+   arrivals (pre-generated in blocks from the hop's split-off RNG), and
+   the pending transmit-finish / propagation-delivery trains — and
+   replays exactly the float arithmetic of [Link.send] and its scheduled
+   callbacks.  Packets are (time, tag) float pairs: a payload's tag is
+   its creation time (finite, >= 0), a dummy's is NaN, cross traffic's is
+   -inf; nothing else about a packet is observable downstream of the
+   gateway.
+
+   Exactness over speed: any exact time tie between two pending streams
+   could be ordered either way by the event loop's (time, seq) tie-break,
+   so the stage raises {!Tie} and the orchestrator falls back to the
+   event loop for the whole run.  With continuous arrival and service
+   processes such ties essentially never occur. *)
+
+exception Tie
+
+type t = {
+  (* reusable storage, kept across runs via the scenario arena *)
+  regs : floatarray; (* 0 busy_until, 1 busy_time, 2 next_cross *)
+  cross_buf : floatarray; (* pre-generated cross inter-arrival block *)
+  fin_t : Fring.t; (* pending transmit-finish times *)
+  fin_tag : Fring.t;
+  del_t : Fring.t; (* pending far-end deliveries (propagation > 0) *)
+  del_tag : Fring.t;
+  out_t : Fvec.t; (* this chunk's deliveries to the next stage *)
+  out_tag : Fvec.t;
+  trace : Tracebuf.t;
+  (* per-run configuration, set by [configure] *)
+  mutable in_t : Fvec.t; (* upstream stage's chunk output *)
+  mutable in_tag : Fvec.t;
+  mutable rng_cross : Prng.Rng.t option;
+  mutable cross_rate : float;
+  mutable cross_idx : int;
+  mutable propagation : float;
+  mutable tx_padded : float;
+  mutable tx_cross : float;
+  mutable qlimit : int; (* max_int = unlimited *)
+  mutable created_at : float;
+  (* run counters, flushed transactionally by the orchestrator *)
+  mutable in_idx : int;
+  mutable depth : int;
+  mutable hwm : int;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable enqueued : int;
+  mutable diverted : int;
+  mutable max_pend : int;
+  mutable events : int; (* events this chunk *)
+}
+
+let cross_block = 4096
+
+let create () =
+  let empty = Fvec.create ~capacity:1 () in
+  {
+    regs = Float.Array.make 3 0.0;
+    cross_buf = Float.Array.create cross_block;
+    fin_t = Fring.create ~capacity:64 ();
+    fin_tag = Fring.create ~capacity:64 ();
+    del_t = Fring.create ~capacity:64 ();
+    del_tag = Fring.create ~capacity:64 ();
+    out_t = Fvec.create ~capacity:1024 ();
+    out_tag = Fvec.create ~capacity:1024 ();
+    trace = Tracebuf.create ();
+    in_t = empty;
+    in_tag = empty;
+    rng_cross = None;
+    cross_rate = 0.0;
+    cross_idx = 0;
+    propagation = 0.0;
+    tx_padded = 0.0;
+    tx_cross = 0.0;
+    qlimit = max_int;
+    created_at = 0.0;
+    in_idx = 0;
+    depth = 0;
+    hwm = 0;
+    sent = 0;
+    dropped = 0;
+    enqueued = 0;
+    diverted = 0;
+    max_pend = 0;
+    events = 0;
+  }
+
+let refill t rng =
+  Prng.Sampler.exponential_fill rng ~rate:t.cross_rate t.cross_buf
+    ~n:cross_block;
+  t.cross_idx <- 0
+
+(* Advance the cross arrival train by one draw: next = prev +. dt, the
+   same accumulation [Sim.every] performs (clock +. interval ()). *)
+let cross_next t rng =
+  if t.cross_idx >= cross_block then refill t rng;
+  Float.Array.set t.regs 2
+    (Float.Array.get t.regs 2 +. Float.Array.unsafe_get t.cross_buf t.cross_idx);
+  t.cross_idx <- t.cross_idx + 1
+
+let configure t ~bandwidth_bps ~propagation ~queue_limit ~packet_size
+    ~cross ~in_t ~in_tag =
+  Float.Array.set t.regs 0 0.0;
+  Float.Array.set t.regs 1 0.0;
+  Float.Array.set t.regs 2 0.0;
+  Fring.clear t.fin_t;
+  Fring.clear t.fin_tag;
+  Fring.clear t.del_t;
+  Fring.clear t.del_tag;
+  Fvec.clear t.out_t;
+  Fvec.clear t.out_tag;
+  Tracebuf.clear t.trace;
+  t.in_t <- in_t;
+  t.in_tag <- in_tag;
+  t.propagation <- propagation;
+  (* Same expression as [Link.send]'s per-packet tx, computed once per
+     size class: identical operands, identical bits. *)
+  t.tx_padded <- float_of_int packet_size *. 8.0 /. bandwidth_bps;
+  t.qlimit <- (match queue_limit with Some l -> l | None -> max_int);
+  t.created_at <- 0.0;
+  t.in_idx <- 0;
+  t.depth <- 0;
+  t.hwm <- 0;
+  t.sent <- 0;
+  t.dropped <- 0;
+  t.enqueued <- 0;
+  t.diverted <- 0;
+  t.max_pend <- 0;
+  t.events <- 0;
+  match cross with
+  | None ->
+      t.rng_cross <- None;
+      t.cross_rate <- 0.0;
+      t.tx_cross <- 0.0
+  | Some (rng, rate_pps, size_bytes) ->
+      t.rng_cross <- Some rng;
+      t.cross_rate <- rate_pps;
+      t.tx_cross <- float_of_int size_bytes *. 8.0 /. bandwidth_bps;
+      refill t rng;
+      (* First arrival: clock (0.0) +. first draw, as Sim.every schedules
+         it at source creation. *)
+      cross_next t rng
+
+let note_pend t =
+  let pend = Fring.length t.fin_t + Fring.length t.del_t in
+  if pend > t.max_pend then t.max_pend <- pend
+
+let deliver t ~time ~tag =
+  if tag = neg_infinity then t.diverted <- t.diverted + 1
+  else begin
+    Fvec.push t.out_t time;
+    Fvec.push t.out_tag tag
+  end
+
+(* Replays [Link.send] at [now] for a packet with transmit time [tx]. *)
+let send t ~now ~tag ~tx =
+  if t.depth >= t.qlimit then begin
+    t.dropped <- t.dropped + 1;
+    if Obs.Trace.enabled () then
+      Tracebuf.push t.trace ~key:now
+        ~code:
+          (if tag = neg_infinity then Tracebuf.drop_cross
+           else if Float.is_nan tag then Tracebuf.drop_dummy
+           else Tracebuf.drop_payload)
+        ~x:0.0 ~y:0.0
+  end
+  else begin
+    let start = Float.max now (Float.Array.get t.regs 0) in
+    let finish = start +. tx in
+    Float.Array.set t.regs 0 finish;
+    Float.Array.set t.regs 1 (Float.Array.get t.regs 1 +. tx);
+    t.depth <- t.depth + 1;
+    t.enqueued <- t.enqueued + 1;
+    if t.depth > t.hwm then t.hwm <- t.depth;
+    Fring.push t.fin_t finish;
+    Fring.push t.fin_tag tag;
+    if t.propagation > 0.0 then begin
+      Fring.push t.del_t (finish +. t.propagation);
+      Fring.push t.del_tag tag
+    end;
+    note_pend t
+  end
+
+let advance t ~until =
+  t.events <- 0;
+  Fvec.clear t.out_t;
+  Fvec.clear t.out_tag;
+  t.in_idx <- 0;
+  let n_in = Fvec.length t.in_t in
+  let continue = ref true in
+  while !continue do
+    let tin =
+      if t.in_idx < n_in then Fvec.unsafe_get t.in_t t.in_idx else infinity
+    in
+    let tc =
+      match t.rng_cross with
+      | Some _ -> Float.Array.get t.regs 2
+      | None -> infinity
+    in
+    let tf = if Fring.is_empty t.fin_t then infinity else Fring.peek t.fin_t in
+    let td = if Fring.is_empty t.del_t then infinity else Fring.peek t.del_t in
+    let m = Float.min (Float.min tin tc) (Float.min tf td) in
+    if m > until then continue := false
+    else begin
+      (* Any exact tie between two distinct streams is ordered by queue
+         seq in the event loop; bail out rather than guess. *)
+      if
+        (tin = m && (tc = m || tf = m || td = m))
+        || (tc = m && (tf = m || td = m))
+        || (tf = m && td = m)
+      then raise Tie;
+      if tf = m then begin
+        (* transmit-finish event *)
+        ignore (Fring.pop t.fin_t : float);
+        let tag = Fring.pop t.fin_tag in
+        t.depth <- t.depth - 1;
+        t.sent <- t.sent + 1;
+        t.events <- t.events + 1;
+        if t.propagation = 0.0 then deliver t ~time:m ~tag
+      end
+      else if td = m then begin
+        (* far-end delivery event (propagation > 0) *)
+        ignore (Fring.pop t.del_t : float);
+        let tag = Fring.pop t.del_tag in
+        t.events <- t.events + 1;
+        deliver t ~time:m ~tag
+      end
+      else if tc = m then begin
+        (* cross source tick: one event, even when the send is dropped *)
+        t.events <- t.events + 1;
+        send t ~now:m ~tag:neg_infinity ~tx:t.tx_cross;
+        match t.rng_cross with
+        | Some rng -> cross_next t rng
+        | None -> assert false
+      end
+      else begin
+        (* padded send handed down within the upstream stage's event *)
+        let tag = Fvec.unsafe_get t.in_tag t.in_idx in
+        t.in_idx <- t.in_idx + 1;
+        send t ~now:m ~tag ~tx:t.tx_padded
+      end
+    end
+  done
+
+let out_times t = t.out_t
+let out_tags t = t.out_tag
+let trace t = t.trace
+let chunk_events t = t.events
+let sent t = t.sent
+let dropped t = t.dropped
+let enqueued t = t.enqueued
+let queue_hwm t = t.hwm
+let diverted t = t.diverted
+let max_pending t = t.max_pend
+
+(* Same float expressions as [Link.utilization] at simulated time [now]. *)
+let utilization t ~now =
+  let elapsed = now -. t.created_at in
+  if elapsed <= 0.0 then 0.0
+  else
+    let busy_until = Float.Array.get t.regs 0 in
+    let busy_time = Float.Array.get t.regs 1 in
+    let future = Float.max 0.0 (busy_until -. now) in
+    Float.min 1.0 ((busy_time -. future) /. elapsed)

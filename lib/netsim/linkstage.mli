@@ -1,0 +1,78 @@
+(** Fused chain-hop kernel: one hop's {!Link} + {!Router} + Poisson
+    cross source executed as a batch loop instead of discrete events.
+
+    Per chunk the stage merges the padded sends handed down by the
+    upstream stage with the hop's own pre-generated cross arrivals and
+    the pending transmit-finish / propagation-delivery trains, replaying
+    {!Link.send}'s float arithmetic exactly — same busy-interval
+    accumulation, same drop decisions, same counters.  Packets are
+    (time, tag) float pairs: payload tag = creation time, dummy = NaN,
+    cross = -inf; cross packets are diverted at the link exit exactly as
+    the router does.  Scratch is reusable across runs and the
+    steady-state loop performs no allocation. *)
+
+exception Tie
+(** An exact time tie between two distinct pending streams — ordered by
+    queue sequence in the event loop, not reproducible here.  The
+    orchestrator catches this and falls back to the event loop. *)
+
+type t
+
+val create : unit -> t
+(** Allocate reusable scratch storage.  One per hop slot in the arena;
+    reconfigured per run. *)
+
+val configure :
+  t ->
+  bandwidth_bps:float ->
+  propagation:float ->
+  queue_limit:int option ->
+  packet_size:int ->
+  cross:(Prng.Rng.t * float * int) option ->
+  in_t:Fvec.t ->
+  in_tag:Fvec.t ->
+  unit
+(** Reset for a new run at simulated time 0.  [cross] is
+    [(rng, rate_pps, size_bytes)] for a Poisson cross source whose
+    [rng] must be the same split-off child the event-loop topology would
+    hand it (chain order: hops with cross traffic, back to front); the
+    first block of inter-arrival draws is pre-filled here.  [in_t] /
+    [in_tag] are the upstream stage's chunk-output buffers, consumed in
+    full on every {!advance}. *)
+
+val advance : t -> until:float -> unit
+(** Process every input send, cross arrival, transmit finish and far-end
+    delivery with timestamp <= [until], in time order.  Padded
+    deliveries of the chunk are appended to {!out_times} / {!out_tags}
+    (cleared on entry).  Raises {!Tie} on any exact cross-stream time
+    tie. *)
+
+val out_times : t -> Fvec.t
+val out_tags : t -> Fvec.t
+(** This chunk's padded deliveries to the next stage, time-ordered. *)
+
+val trace : t -> Tracebuf.t
+(** Whole-run deferred [packet.dropped] records. *)
+
+val chunk_events : t -> int
+(** Events the event loop would have dispatched for the last {!advance}
+    chunk (cross arrivals + finishes + deliveries; input sends happen
+    inside the upstream stage's events and are counted there). *)
+
+val sent : t -> int
+val dropped : t -> int
+val enqueued : t -> int
+
+val queue_hwm : t -> int
+(** Exact link-queue depth high-water mark (the
+    [netsim.link.queue_hwm] gauge observation). *)
+
+val diverted : t -> int
+
+val max_pending : t -> int
+(** High-water mark of pending finish + delivery trains (run scope),
+    an input to the orchestrator's event-queue-depth surrogate. *)
+
+val utilization : t -> now:float -> float
+(** {!Link.utilization} evaluated with identical float expressions at
+    simulated time [now]. *)

@@ -42,6 +42,16 @@ let port t pkt =
   end;
   t.dest pkt
 
+(* Batched counter flush for the fused kernels: they record observation
+   timestamps straight into arena Fvecs and fold the per-packet counter
+   increments into one transactional add per run. *)
+let note_batch ~observed ~payload ~dummy =
+  if observed < 0 || payload < 0 || dummy < 0 then
+    invalid_arg "Tap.note_batch: negative count";
+  Obs.Metrics.add m_observed observed;
+  Obs.Metrics.add m_payload payload;
+  Obs.Metrics.add m_dummy dummy
+
 let count t = Fvec.length t.times
 let timestamps t = Fvec.to_array t.times
 let sizes t = Array.map int_of_float (Fvec.to_array t.sizes)

@@ -27,6 +27,14 @@ val port : t -> Link.port
 val count : t -> int
 (** Number of recorded packets. *)
 
+val note_batch : observed:int -> payload:int -> dummy:int -> unit
+(** Fold a batch of observations into the tap's registry counters
+    ([netsim.tap.observed] / [.payload] / [.dummy]) in one transactional
+    add — the flush half of the fused kernels' inline tap, which records
+    timestamps directly into arena buffers instead of going through
+    {!port} packet by packet.  Raises [Invalid_argument] on negative
+    counts. *)
+
 val timestamps : t -> float array
 (** Arrival times of recorded packets, in order. *)
 

@@ -41,7 +41,14 @@ let mechanistic ?(context_switch_mu = 3e-6) ?(context_switch_sigma = 1.0e-6)
       irq_delay_mean;
     }
 
-let latency t rng ctx =
+(* Left-to-right accumulation, same association as the historical [ref]
+   loop: ((0 + d1) + d2) + ...  Top-level and tail-recursive so the fused
+   gateway kernel reaches an allocation-free draw path. *)
+let rec irq_sum rng ~rate k acc =
+  if k <= 0 then acc
+  else irq_sum rng ~rate (k - 1) (acc +. Prng.Sampler.exponential rng ~rate)
+
+let latency_at t rng ~sends_payload ~arrivals_in_window =
   match t with
   | None_ -> 0.0
   | Parametric { mu; sigma } ->
@@ -52,16 +59,18 @@ let latency t rng ctx =
           ~sigma:m.context_switch_sigma
       in
       let path =
-        if ctx.sends_payload then
+        if sends_payload then
           Prng.Sampler.normal rng ~mu:m.payload_extra_mu
             ~sigma:m.payload_extra_sigma
         else 0.0
       in
-      let blocking = ref 0.0 in
-      if m.irq_delay_mean > 0.0 then
-        for _ = 1 to ctx.arrivals_in_window do
-          blocking :=
-            !blocking
-            +. Prng.Sampler.exponential rng ~rate:(1.0 /. m.irq_delay_mean)
-        done;
-      Float.max 0.0 (base +. path +. !blocking)
+      let blocking =
+        if m.irq_delay_mean > 0.0 then
+          irq_sum rng ~rate:(1.0 /. m.irq_delay_mean) arrivals_in_window 0.0
+        else 0.0
+      in
+      Float.max 0.0 (base +. path +. blocking)
+
+let latency t rng ctx =
+  latency_at t rng ~sends_payload:ctx.sends_payload
+    ~arrivals_in_window:ctx.arrivals_in_window

@@ -35,6 +35,13 @@ type context = {
 val latency : t -> Prng.Rng.t -> context -> float
 (** Random send latency (>= 0) for one timer fire. *)
 
+val latency_at :
+  t -> Prng.Rng.t -> sends_payload:bool -> arrivals_in_window:int -> float
+(** Same draw sequence and arithmetic as {!latency}, taking the two
+    context fields the models actually consult as plain arguments — the
+    allocation-free entry point used by the fused gateway kernel
+    ({!latency} is a thin wrapper over this). *)
+
 val none : t
 (** Zero latency — an ideal gateway (perfect secrecy baseline). *)
 

@@ -1,0 +1,226 @@
+(* Fused padding-gateway stage: the CIT/VIT gateway of [Gateway]
+   executed as a batch loop over three merged trains — pre-generated
+   Poisson payload arrivals, the timer-fire train, and the pending
+   emission train — instead of per-event dispatch.
+
+   Exactness contract: the stage consumes the same RNG draws in the same
+   order and evaluates the same float expressions as [Gateway.on_fire]
+   driven by [Sim.every], so every emission time, occupancy observation
+   and counter is bit-identical to the event-loop path.  Payload
+   arrivals come from a dedicated split-off stream, so pre-filling a
+   block of inter-arrival draws cannot perturb any other stream; timer
+   and jitter draws are data-dependent (queue state decides whether the
+   payload-extra normal is drawn) and are therefore made scalar, in fire
+   order, exactly as the event loop makes them.
+
+   An exact time tie between a pending payload arrival and a pending
+   timer fire is ordered by queue seq in the event loop, unreproducible
+   here — {!Tie} makes the orchestrator fall back.  Emission events need
+   no tie handling: an emission at the same instant as a fire was pushed
+   before that fire's queue record (emit before fire), and relative
+   order against an arrival is unobservable (disjoint state, no trace
+   record on either side). *)
+
+exception Tie
+
+type t = {
+  regs : floatarray; (* 0 next_arrival, 1 next_fire, 2 last_emit *)
+  arr_buf : floatarray; (* pre-generated payload inter-arrival block *)
+  queue : Netsim.Fring.t; (* queued payload creation times *)
+  window : Netsim.Fring.t; (* arrivals in the IRQ blocking window *)
+  pend_t : Netsim.Fring.t; (* pending emissions awaiting their latency *)
+  pend_tag : Netsim.Fring.t;
+  occ : Netsim.Fvec.t; (* queue-occupancy histogram observations *)
+  out_t : Netsim.Fvec.t; (* this chunk's emissions *)
+  out_tag : Netsim.Fvec.t;
+  trace : Netsim.Tracebuf.t;
+  mutable rng_payload : Prng.Rng.t;
+  mutable rng_gateway : Prng.Rng.t;
+  mutable timer : Timer.law;
+  mutable jitter : Jitter.t;
+  mutable packet_size : int;
+  mutable payload_rate : float;
+  mutable arr_idx : int;
+  mutable fires : int;
+  mutable payload_sent : int;
+  mutable dummy_sent : int;
+  mutable generated : int; (* payload arrival events = source emissions *)
+  mutable max_pend : int;
+  mutable events : int; (* events this chunk *)
+}
+
+let arrival_block = 4096
+
+let create () =
+  let dummy_rng = Prng.Rng.create ~seed:0 in
+  {
+    regs = Float.Array.make 3 0.0;
+    arr_buf = Float.Array.create arrival_block;
+    queue = Netsim.Fring.create ~capacity:64 ();
+    window = Netsim.Fring.create ~capacity:64 ();
+    pend_t = Netsim.Fring.create ~capacity:64 ();
+    pend_tag = Netsim.Fring.create ~capacity:64 ();
+    occ = Netsim.Fvec.create ~capacity:1024 ();
+    out_t = Netsim.Fvec.create ~capacity:1024 ();
+    out_tag = Netsim.Fvec.create ~capacity:1024 ();
+    trace = Netsim.Tracebuf.create ();
+    rng_payload = dummy_rng;
+    rng_gateway = dummy_rng;
+    timer = Timer.Constant 0.010;
+    jitter = Jitter.none;
+    packet_size = 500;
+    payload_rate = 1.0;
+    arr_idx = 0;
+    fires = 0;
+    payload_sent = 0;
+    dummy_sent = 0;
+    generated = 0;
+    max_pend = 0;
+    events = 0;
+  }
+
+let refill t =
+  Prng.Sampler.exponential_fill t.rng_payload ~rate:t.payload_rate t.arr_buf
+    ~n:arrival_block;
+  t.arr_idx <- 0
+
+(* next = prev +. dt: the accumulation Sim.every performs when the
+   arrival event re-schedules itself at clock +. interval (). *)
+let arrival_next t =
+  if t.arr_idx >= arrival_block then refill t;
+  Float.Array.set t.regs 0
+    (Float.Array.get t.regs 0 +. Float.Array.unsafe_get t.arr_buf t.arr_idx);
+  t.arr_idx <- t.arr_idx + 1
+
+let configure t ~rng_payload ~rng_gateway ~timer ~jitter ~packet_size
+    ~payload_rate =
+  Netsim.Fring.clear t.queue;
+  Netsim.Fring.clear t.window;
+  Netsim.Fring.clear t.pend_t;
+  Netsim.Fring.clear t.pend_tag;
+  Netsim.Fvec.clear t.occ;
+  Netsim.Fvec.clear t.out_t;
+  Netsim.Fvec.clear t.out_tag;
+  Netsim.Tracebuf.clear t.trace;
+  t.rng_payload <- rng_payload;
+  t.rng_gateway <- rng_gateway;
+  t.timer <- timer;
+  t.jitter <- jitter;
+  t.packet_size <- packet_size;
+  t.payload_rate <- payload_rate;
+  t.fires <- 0;
+  t.payload_sent <- 0;
+  t.dummy_sent <- 0;
+  t.generated <- 0;
+  t.max_pend <- 0;
+  t.events <- 0;
+  (* First payload arrival and first fire are both scheduled at creation
+     time (simulated 0.0) as clock +. first draw. *)
+  refill t;
+  Float.Array.set t.regs 0 0.0;
+  arrival_next t;
+  Float.Array.set t.regs 1 (0.0 +. Timer.draw timer rng_gateway);
+  Float.Array.set t.regs 2 0.0 (* last_emit <- Sim.now at create *)
+
+let note_pend t =
+  let pend = Netsim.Fring.length t.pend_t in
+  if pend > t.max_pend then t.max_pend <- pend
+
+(* Replays [Gateway.on_fire] at fire time [now]. *)
+let on_fire t ~now =
+  t.fires <- t.fires + 1;
+  Netsim.Fvec.push t.occ (float_of_int (Netsim.Fring.length t.queue));
+  let window_start = now -. Jitter.irq_window in
+  while
+    (not (Netsim.Fring.is_empty t.window))
+    && Netsim.Fring.peek t.window < window_start
+  do
+    ignore (Netsim.Fring.pop t.window : float)
+  done;
+  let arrivals_in_window = Netsim.Fring.length t.window in
+  let sends_payload = not (Netsim.Fring.is_empty t.queue) in
+  let latency =
+    Jitter.latency_at t.jitter t.rng_gateway ~sends_payload ~arrivals_in_window
+  in
+  let emit_time =
+    Float.max (now +. latency) (Float.Array.get t.regs 2 +. 1e-12)
+  in
+  Float.Array.set t.regs 2 emit_time;
+  let tag =
+    if sends_payload then begin
+      t.payload_sent <- t.payload_sent + 1;
+      Netsim.Fring.pop t.queue
+    end
+    else begin
+      t.dummy_sent <- t.dummy_sent + 1;
+      Float.nan
+    end
+  in
+  if Obs.Trace.enabled () then begin
+    Netsim.Tracebuf.push t.trace ~key:now ~code:Netsim.Tracebuf.timer_fire
+      ~x:(float_of_int (Netsim.Fring.length t.queue))
+      ~y:0.0;
+    Netsim.Tracebuf.push t.trace ~key:now
+      ~code:
+        (if sends_payload then Netsim.Tracebuf.sent_payload
+         else Netsim.Tracebuf.sent_dummy)
+      ~x:(float_of_int t.packet_size) ~y:emit_time
+  end;
+  Netsim.Fring.push t.pend_t emit_time;
+  Netsim.Fring.push t.pend_tag tag;
+  note_pend t;
+  (* Sim.every: the fire body runs before the next interval is drawn. *)
+  Float.Array.set t.regs 1 (now +. Timer.draw t.timer t.rng_gateway)
+
+let advance t ~until =
+  t.events <- 0;
+  Netsim.Fvec.clear t.out_t;
+  Netsim.Fvec.clear t.out_tag;
+  let continue = ref true in
+  while !continue do
+    let ta = Float.Array.get t.regs 0 in
+    let tf = Float.Array.get t.regs 1 in
+    let te =
+      if Netsim.Fring.is_empty t.pend_t then infinity
+      else Netsim.Fring.peek t.pend_t
+    in
+    let m = Float.min (Float.min ta tf) te in
+    if m > until then continue := false
+    else if ta = m && ta = tf then raise Tie
+    else if te = m then begin
+      (* emission event: the packet leaves for the first hop *)
+      ignore (Netsim.Fring.pop t.pend_t : float);
+      let tag = Netsim.Fring.pop t.pend_tag in
+      t.events <- t.events + 1;
+      Netsim.Fvec.push t.out_t te;
+      Netsim.Fvec.push t.out_tag tag
+    end
+    else if ta < tf then begin
+      (* payload arrival event: source emit + Gateway.input *)
+      t.events <- t.events + 1;
+      t.generated <- t.generated + 1;
+      Netsim.Fring.push t.window ta;
+      Netsim.Fring.push t.queue ta;
+      arrival_next t
+    end
+    else begin
+      t.events <- t.events + 1;
+      on_fire t ~now:tf
+    end
+  done
+
+let out_times t = t.out_t
+let out_tags t = t.out_tag
+let trace t = t.trace
+let occupancy t = t.occ
+let chunk_events t = t.events
+let fires t = t.fires
+let payload_sent t = t.payload_sent
+let dummy_sent t = t.dummy_sent
+let generated t = t.generated
+let max_pending t = t.max_pend
+
+(* Same expression as [Gateway.overhead]. *)
+let overhead t =
+  let total = t.payload_sent + t.dummy_sent in
+  if total = 0 then 0.0 else float_of_int t.dummy_sent /. float_of_int total

@@ -14,24 +14,37 @@ let normal rng ~mu ~sigma =
   if sigma < 0.0 then invalid_arg "Sampler.normal: sigma < 0";
   if sigma = 0.0 then mu else mu +. (sigma *. standard_normal rng)
 
+(* For mu/sigma >= ~1e-2 plain rejection terminates fast; the fuse guards
+   against pathological parameterizations.  Top-level (not an inner [let
+   rec] closing over the locals) so the VIT timer draw stays on the
+   allocation-free A001 path of the fused scenario kernels. *)
+let rec truncated_draw rng ~mu ~sigma attempts =
+  if attempts > 10_000 then mu
+  else
+    let x = normal rng ~mu ~sigma in
+    if x > 0.0 then x else truncated_draw rng ~mu ~sigma (attempts + 1)
+
 let truncated_normal_pos rng ~mu ~sigma =
   if mu <= 0.0 then invalid_arg "Sampler.truncated_normal_pos: mu <= 0";
   if sigma < 0.0 then invalid_arg "Sampler.truncated_normal_pos: sigma < 0";
-  if sigma = 0.0 then mu
-  else
-    let rec draw attempts =
-      (* For mu/sigma >= ~1e-2 plain rejection terminates fast; the fuse
-         guards against pathological parameterizations. *)
-      if attempts > 10_000 then mu
-      else
-        let x = normal rng ~mu ~sigma in
-        if x > 0.0 then x else draw (attempts + 1)
-    in
-    draw 0
+  if sigma = 0.0 then mu else truncated_draw rng ~mu ~sigma 0
 
 let exponential rng ~rate =
-  if rate <= 0.0 then invalid_arg "Sampler.exponential: rate <= 0";
+  (* [not (rate > 0)] rather than [rate <= 0]: NaN must not slip through. *)
+  if not (rate > 0.0) then invalid_arg "Sampler.exponential: rate <= 0";
   -.log (Rng.float_pos rng) /. rate
+
+let exponential_fill rng ~rate buf ~n =
+  if not (rate > 0.0) then invalid_arg "Sampler.exponential_fill: rate <= 0";
+  if Float.Array.length buf = 0 then
+    invalid_arg "Sampler.exponential_fill: zero-length buffer";
+  if n < 1 || n > Float.Array.length buf then
+    invalid_arg "Sampler.exponential_fill: n out of [1, length buf]";
+  (* Same expression as [exponential], minus the per-draw validation: the
+     filled buffer is bit-identical to n scalar calls on the same rng. *)
+  for i = 0 to n - 1 do
+    Float.Array.unsafe_set buf i (-.log (Rng.float_pos rng) /. rate)
+  done
 
 let pareto rng ~shape ~scale =
   if shape <= 0.0 then invalid_arg "Sampler.pareto: shape <= 0";
@@ -55,7 +68,11 @@ let poisson rng ~mean =
     count 0 1.0
 
 let geometric rng ~p =
-  if p <= 0.0 || p > 1.0 then invalid_arg "Sampler.geometric: p out of (0,1]";
+  (* NaN slips through both range comparisons (every NaN compare is
+     false), and the p = 1.0 boundary must short-circuit before the log
+     path — log (1.0 -. 1.0) = -inf would otherwise poison the divide. *)
+  if Float.is_nan p || p <= 0.0 || p > 1.0 then
+    invalid_arg "Sampler.geometric: p out of (0,1]";
   if p = 1.0 then 0
   else
     let u = Rng.float_pos rng in

@@ -18,6 +18,15 @@ val truncated_normal_pos : Rng.t -> mu:float -> sigma:float -> float
 val exponential : Rng.t -> rate:float -> float
 (** Exponential with rate [rate] (mean 1/rate) by inversion. [rate > 0]. *)
 
+val exponential_fill : Rng.t -> rate:float -> floatarray -> n:int -> unit
+(** Fill [buf.(0) .. buf.(n-1)] with draws bit-identical to [n]
+    successive {!exponential} calls on the same generator — the batched
+    prefill behind the fused scenario kernels.  The generator advances
+    exactly as the scalar loop would, so on a split-off stream it is safe
+    to fill more draws than a consumer ends up using.  Raises
+    [Invalid_argument] unless [rate > 0] and [1 <= n <= length buf]
+    (zero-length buffers are rejected). *)
+
 val pareto : Rng.t -> shape:float -> scale:float -> float
 (** Pareto type-I: support [scale, inf), P(X > x) = (scale/x)^shape.
     [shape > 0], [scale > 0].  Heavy-tailed on/off periods. *)

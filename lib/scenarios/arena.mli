@@ -18,6 +18,12 @@ type t = {
   tap_times : Netsim.Fvec.t;
   tap_sizes : Netsim.Fvec.t;
   gw : Padding.Gateway.Buffers.t;
+  kernel_gw : Padding.Kernel.t;
+      (** fused-gateway scratch for the {!Fastpath} kernel *)
+  mutable kernel_hops : Netsim.Linkstage.t array;
+      (** per-hop fused-link scratch; grown on demand via {!kernel_hops} *)
+  kernel_tap_trace : Netsim.Tracebuf.t;
+      (** deferred [tap.observe] records for the kernel's inline tap *)
 }
 
 val get : fresh:bool -> t
@@ -29,3 +35,8 @@ val get : fresh:bool -> t
 val tap_buffers : t -> Netsim.Fvec.t * Netsim.Fvec.t
 (** The [(times, sizes)] pair for {!Netsim.Topology.chain}'s
     [tap_buffers]. *)
+
+val kernel_hops : t -> int -> Netsim.Linkstage.t array
+(** [kernel_hops t n] returns the per-hop kernel scratch array grown to
+    at least [n] stages, reusing already-grown stages so buffer capacity
+    survives across runs of different chain lengths. *)

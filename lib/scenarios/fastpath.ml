@@ -1,0 +1,335 @@
+(* Fused-kernel fast path for [System.run].
+
+   Eligible runs — Poisson payload, chain topology whose cross traffic
+   is absent or Poisson, no fault injectors (faulted scenarios use their
+   own drivers) — execute as a staged batch pipeline instead of
+   discrete-event simulation: [Padding.Kernel] plays the gateway,
+   one [Netsim.Linkstage] per hop plays link+router+cross source, and
+   this module plays topology glue, tap, receiver and chunk loop.  The
+   chunk boundaries come from [Starvation.drive], the very same
+   arithmetic the event loop runs, so both paths starve, stop and
+   budget-trip at identical simulated times.
+
+   Everything observable is buffered stage-locally during the run and
+   flushed transactionally: registry counters as batched adds, the
+   ta-trace/1 stream as a key-ordered merge of per-stage deferred
+   buffers.  If any stage (or the trace merge) hits an exact time tie it
+   cannot order, nothing has been published yet — [try_run] returns
+   [None] and the caller reruns the config on the event loop, whose
+   (time, seq) queue order resolves the tie authoritatively. *)
+
+exception Tie
+
+let enabled_flag = Atomic.make true
+
+(* Read once per process: CI flips the whole process to the event loop
+   with TA_FORCE_EVENT_LOOP=1 to regenerate reference outputs. *)
+let env_forced =
+  match Sys.getenv_opt "TA_FORCE_EVENT_LOOP" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let enabled () = Atomic.get enabled_flag && not env_forced
+let set_enabled b = Atomic.set enabled_flag b
+
+let m_runs = Obs.Metrics.counter "desim.kernel.runs"
+
+let m_fb_disabled =
+  Obs.Metrics.counter_labeled "desim.kernel.fallbacks"
+    ~label:("reason", "disabled")
+
+let m_fb_cbr =
+  Obs.Metrics.counter_labeled "desim.kernel.fallbacks"
+    ~label:("reason", "cbr_payload")
+
+let m_fb_onoff =
+  Obs.Metrics.counter_labeled "desim.kernel.fallbacks"
+    ~label:("reason", "onoff_cross")
+
+let m_fb_tie =
+  Obs.Metrics.counter_labeled "desim.kernel.fallbacks" ~label:("reason", "tie")
+
+let note_fallback ~reason =
+  Obs.Metrics.incr
+    (match reason with
+    | "disabled" -> m_fb_disabled
+    | "cbr_payload" -> m_fb_cbr
+    | "onoff_cross" -> m_fb_onoff
+    | "tie" -> m_fb_tie
+    | r -> invalid_arg ("Fastpath.note_fallback: unknown reason " ^ r))
+
+let eligible_hops hops =
+  Array.for_all
+    (fun (h : Netsim.Topology.hop_spec) ->
+      match h.Netsim.Topology.cross with
+      | None -> true
+      | Some c -> c.Netsim.Topology.burst = `Poisson)
+    hops
+
+(* Registry handles for the batched flush; registration is idempotent,
+   these are the same metrics the event-loop components update. *)
+let m_gw_fires = Obs.Metrics.counter "padding.gateway.fires"
+let m_gw_payload = Obs.Metrics.counter "padding.gateway.payload_sent"
+let m_gw_dummy = Obs.Metrics.counter "padding.gateway.dummy_sent"
+let h_gw_occupancy = Obs.Metrics.histogram "padding.gateway.queue_occupancy"
+let m_link_enqueued = Obs.Metrics.counter "netsim.link.enqueued"
+let m_link_dropped = Obs.Metrics.counter "netsim.link.dropped"
+let g_link_hwm = Obs.Metrics.gauge "netsim.link.queue_hwm"
+let h_utilization = Obs.Metrics.histogram "netsim.link.utilization"
+
+type outcome = {
+  timestamps : float array;
+  overhead : float;
+  payload_offered : int;
+  payload_delivered : int;
+  mean_payload_latency : float;
+  sim_time : float;
+}
+
+(* K-way merge of the per-stage deferred trace buffers by insertion-time
+   key, replayed through the live trace sink.  Keys are monotone within
+   a buffer (stable insertion order); an exact key shared by two
+   different buffers is a cross-stage insertion-order tie the event
+   queue would break by seq — bail out before emitting anything. *)
+let merge_pass bufs ~emit =
+  let k = Array.length bufs in
+  let idx = Array.make k 0 in
+  let remaining = ref 0 in
+  Array.iter (fun b -> remaining := !remaining + Netsim.Tracebuf.length b) bufs;
+  while !remaining > 0 do
+    let best = ref (-1) in
+    let best_key = ref infinity in
+    for j = 0 to k - 1 do
+      if idx.(j) < Netsim.Tracebuf.length bufs.(j) then begin
+        let key = Netsim.Tracebuf.key bufs.(j) idx.(j) in
+        if !best < 0 || key < !best_key then begin
+          best := j;
+          best_key := key
+        end
+        else if key = !best_key then raise Tie
+      end
+    done;
+    if emit then Netsim.Tracebuf.emit bufs.(!best) idx.(!best);
+    idx.(!best) <- idx.(!best) + 1;
+    remaining := !remaining - 1
+  done
+
+let merge_traces bufs =
+  (* Two passes: the dry run proves the whole merge is tie-free BEFORE
+     the first event reaches the sink — a tie detected mid-emission
+     would leave a partial stream behind that the event-loop rerun then
+     duplicates. *)
+  merge_pass bufs ~emit:false;
+  merge_pass bufs ~emit:true
+
+let arm_event_budget sim =
+  match Exec.Supervise.current_event_budget () with
+  | Some max_events -> Desim.Sim.set_event_budget sim ~max_events
+  | None -> ()
+
+let try_run ~fresh_arena ~scenario ~seed ~timer ~jitter ~payload_rate_pps
+    ~packet_size ~hops ~tap_position ~target ~expected_rate =
+  let n = Array.length hops in
+  if tap_position < 0 || tap_position > n then
+    invalid_arg "Topology.chain: tap_position out of range";
+  Array.iter
+    (fun (h : Netsim.Topology.hop_spec) ->
+      if h.Netsim.Topology.bandwidth_bps <= 0.0 then
+        invalid_arg "Link.create: bandwidth <= 0";
+      if h.Netsim.Topology.propagation < 0.0 then
+        invalid_arg "Link.create: propagation < 0";
+      (match h.Netsim.Topology.queue_limit with
+      | Some l when l < 1 -> invalid_arg "Link.create: queue_limit < 1"
+      | _ -> ());
+      match h.Netsim.Topology.cross with
+      | Some c when c.Netsim.Topology.rate_pps <= 0.0 ->
+          invalid_arg "Traffic_gen.poisson: rate <= 0"
+      | _ -> ())
+    hops;
+  let arena = Arena.get ~fresh:fresh_arena in
+  let sim = arena.Arena.sim in
+  arm_event_budget sim;
+  (* Same stream derivation as the event-loop path: three splits off the
+     root in payload/gateway/cross order, then one child per hop with
+     cross traffic, split in the chain builder's back-to-front order. *)
+  let root = Prng.Rng.create ~seed in
+  let rng_payload = Prng.Rng.split root in
+  let rng_gateway = Prng.Rng.split root in
+  let rng_cross = Prng.Rng.split root in
+  let children = Array.make (Stdlib.max n 1) None in
+  for i = n - 1 downto 0 do
+    match hops.(i).Netsim.Topology.cross with
+    | None -> ()
+    | Some _ -> children.(i) <- Some (Prng.Rng.split rng_cross)
+  done;
+  let kgw = arena.Arena.kernel_gw in
+  Padding.Kernel.configure kgw ~rng_payload ~rng_gateway ~timer ~jitter
+    ~packet_size ~payload_rate:payload_rate_pps;
+  let stages = Arena.kernel_hops arena n in
+  let in_t = ref (Padding.Kernel.out_times kgw) in
+  let in_tag = ref (Padding.Kernel.out_tags kgw) in
+  for i = 0 to n - 1 do
+    let h = hops.(i) in
+    let cross =
+      match (h.Netsim.Topology.cross, children.(i)) with
+      | Some c, Some rng ->
+          Some (rng, c.Netsim.Topology.rate_pps, c.Netsim.Topology.size_bytes)
+      | _ -> None
+    in
+    Netsim.Linkstage.configure stages.(i)
+      ~bandwidth_bps:h.Netsim.Topology.bandwidth_bps
+      ~propagation:h.Netsim.Topology.propagation
+      ~queue_limit:h.Netsim.Topology.queue_limit ~packet_size ~cross
+      ~in_t:!in_t ~in_tag:!in_tag;
+    in_t := Netsim.Linkstage.out_times stages.(i);
+    in_tag := Netsim.Linkstage.out_tags stages.(i)
+  done;
+  (* Inline tap and receiver state. *)
+  Netsim.Fvec.clear arena.Arena.tap_times;
+  Netsim.Fvec.clear arena.Arena.tap_sizes;
+  Netsim.Tracebuf.clear arena.Arena.kernel_tap_trace;
+  let tap_payload = ref 0 and tap_dummy = ref 0 in
+  let payload_received = ref 0 and dummy_received = ref 0 in
+  let latency_acc = Stats.Descriptive.Acc.create () in
+  let size_f = float_of_int packet_size in
+  let absorb_tap times tags =
+    let len = Netsim.Fvec.length times in
+    for i = 0 to len - 1 do
+      let t = Netsim.Fvec.unsafe_get times i in
+      let tag = Netsim.Fvec.unsafe_get tags i in
+      let dummy = Float.is_nan tag in
+      if dummy then incr tap_dummy else incr tap_payload;
+      if Obs.Trace.enabled () then
+        Netsim.Tracebuf.push arena.Arena.kernel_tap_trace ~key:t
+          ~code:
+            (if dummy then Netsim.Tracebuf.observe_dummy
+             else Netsim.Tracebuf.observe_payload)
+          ~x:size_f ~y:0.0;
+      Netsim.Fvec.push arena.Arena.tap_times t;
+      Netsim.Fvec.push arena.Arena.tap_sizes size_f
+    done
+  in
+  let absorb_receiver times tags =
+    let len = Netsim.Fvec.length times in
+    for i = 0 to len - 1 do
+      let t = Netsim.Fvec.unsafe_get times i in
+      let tag = Netsim.Fvec.unsafe_get tags i in
+      if Float.is_nan tag then incr dummy_received
+      else begin
+        incr payload_received;
+        (* Receiver.port: latency observed at the delivery event. *)
+        Stats.Descriptive.Acc.add latency_acc (t -. tag)
+      end
+    done
+  in
+  (* Event-queue-depth surrogate for the desim.queue_hwm gauge: the two
+     periodic source records plus one per cross source, plus the pending
+     emission / in-flight transmission high-water marks.  Deterministic
+     per config (jobs-invariant) but NOT the event loop's exact
+     interleaved depth; excluded from the differential contract. *)
+  let n_cross =
+    Array.fold_left
+      (fun acc (h : Netsim.Topology.hop_spec) ->
+        if h.Netsim.Topology.cross = None then acc else acc + 1)
+      0 hops
+  in
+  let queue_hwm_surrogate () =
+    let acc = ref (2 + n_cross + Padding.Kernel.max_pending kgw) in
+    for i = 0 to n - 1 do
+      acc := !acc + Netsim.Linkstage.max_pending stages.(i)
+    done;
+    !acc
+  in
+  let flush ~with_utilization ~publish ~now =
+    if Obs.Trace.enabled () then begin
+      let bufs =
+        Array.init (n + 2) (fun i ->
+            if i = 0 then Padding.Kernel.trace kgw
+            else if i = 1 then arena.Arena.kernel_tap_trace
+            else Netsim.Linkstage.trace stages.(i - 2))
+      in
+      merge_traces bufs
+    end;
+    Obs.Metrics.add m_gw_fires (Padding.Kernel.fires kgw);
+    Obs.Metrics.add m_gw_payload (Padding.Kernel.payload_sent kgw);
+    Obs.Metrics.add m_gw_dummy (Padding.Kernel.dummy_sent kgw);
+    let occ = Padding.Kernel.occupancy kgw in
+    for i = 0 to Netsim.Fvec.length occ - 1 do
+      Obs.Metrics.observe h_gw_occupancy (Netsim.Fvec.unsafe_get occ i)
+    done;
+    for i = 0 to n - 1 do
+      let st = stages.(i) in
+      Obs.Metrics.add m_link_enqueued (Netsim.Linkstage.enqueued st);
+      Obs.Metrics.add m_link_dropped (Netsim.Linkstage.dropped st);
+      let hwm = Netsim.Linkstage.queue_hwm st in
+      if hwm > 0 then Obs.Metrics.observe_hwm g_link_hwm (float_of_int hwm)
+    done;
+    if with_utilization then
+      (* Topology.stop_cross observes every router, in chain order. *)
+      for i = 0 to n - 1 do
+        Obs.Metrics.observe h_utilization
+          (Netsim.Linkstage.utilization stages.(i) ~now)
+      done;
+    Netsim.Tap.note_batch
+      ~observed:(!tap_payload + !tap_dummy)
+      ~payload:!tap_payload ~dummy:!tap_dummy;
+    if publish then Desim.Sim.publish_metrics sim
+  in
+  let advance until =
+    Padding.Kernel.advance kgw ~until;
+    let events = ref (Padding.Kernel.chunk_events kgw) in
+    if tap_position = 0 then
+      absorb_tap (Padding.Kernel.out_times kgw) (Padding.Kernel.out_tags kgw);
+    for i = 0 to n - 1 do
+      Netsim.Linkstage.advance stages.(i) ~until;
+      events := !events + Netsim.Linkstage.chunk_events stages.(i);
+      if tap_position = i + 1 then
+        absorb_tap
+          (Netsim.Linkstage.out_times stages.(i))
+          (Netsim.Linkstage.out_tags stages.(i))
+    done;
+    (if n = 0 then
+       absorb_receiver (Padding.Kernel.out_times kgw)
+         (Padding.Kernel.out_tags kgw)
+     else
+       absorb_receiver
+         (Netsim.Linkstage.out_times stages.(n - 1))
+         (Netsim.Linkstage.out_tags stages.(n - 1)));
+    Desim.Sim.account_external sim ~events:!events
+      ~queue_hwm:(queue_hwm_surrogate ());
+    (* Advances the clock to the chunk boundary and enforces the event
+       budget with the event loop's chunk granularity and totals.  On a
+       budget trip, flush what the event loop would already have
+       published incrementally (no [publish_metrics] — the event loop
+       does not publish on this path either), then re-raise. *)
+    try Desim.Sim.run_until sim ~time:until
+    with Desim.Sim.Event_budget_exceeded _ as e ->
+      flush ~with_utilization:false ~publish:false ~now:(Desim.Sim.now sim);
+      raise e
+  in
+  try
+    Starvation.drive ~scenario ~slack:1.1 ~min_chunk:0.1
+      ~now:(fun () -> Desim.Sim.now sim)
+      ~count:(fun () -> Netsim.Fvec.length arena.Arena.tap_times)
+      ~advance
+      ~on_starve:(fun () ->
+        (* The event loop's starve path never reaches stop_cross, so no
+           utilization observations — flush everything else. *)
+        flush ~with_utilization:false ~publish:true ~now:(Desim.Sim.now sim))
+      ~target ~expected_rate ();
+    let now = Desim.Sim.now sim in
+    flush ~with_utilization:true ~publish:true ~now;
+    Obs.Metrics.incr m_runs;
+    Some
+      {
+        timestamps = Netsim.Fvec.to_array arena.Arena.tap_times;
+        overhead = Padding.Kernel.overhead kgw;
+        payload_offered = Padding.Kernel.generated kgw;
+        payload_delivered = !payload_received;
+        mean_payload_latency = Stats.Descriptive.Acc.mean latency_acc;
+        sim_time = now;
+      }
+  with Padding.Kernel.Tie | Netsim.Linkstage.Tie | Tie ->
+    (* Nothing was published before the tie was detected; the caller
+       reruns the config on the event loop. *)
+    None

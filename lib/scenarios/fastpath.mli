@@ -1,0 +1,63 @@
+(** Fused-kernel fast path for {!System.run}.
+
+    Batch-executes the dominant no-fault configuration — Poisson payload,
+    chain topology, cross traffic absent or Poisson — through
+    {!Padding.Kernel} and {!Netsim.Linkstage} instead of the discrete
+    event loop.  The contract is exact equivalence: same RNG draws in the
+    same order, bit-identical tap observations, trace stream, QoS fields
+    and metric totals as the event loop at any [--jobs].  Runs the kernel
+    cannot order exactly (cross-stream time ties) publish nothing and
+    fall back to the event loop.
+
+    Set [TA_FORCE_EVENT_LOOP=1] (or call {!set_enabled}[ false]) to
+    force every run onto the event loop — used by the differential CI
+    job and the [--no-kernel] bench flag. *)
+
+val enabled : unit -> bool
+(** Whether eligible runs may take the kernel path.  [false] when
+    {!set_enabled}[ false] was called or the [TA_FORCE_EVENT_LOOP]
+    environment variable was set ([1]/[true]/[yes]) at startup. *)
+
+val set_enabled : bool -> unit
+(** Process-wide toggle ANDed with the environment override. *)
+
+val note_fallback : reason:string -> unit
+(** Bump [desim.kernel.fallbacks{reason=...}].  Reasons:
+    ["disabled"], ["cbr_payload"], ["onoff_cross"], ["tie"]. *)
+
+val eligible_hops : Netsim.Topology.hop_spec array -> bool
+(** Every hop's cross traffic is absent or [`Poisson] (the kernel has no
+    on/off burst model). *)
+
+type outcome = {
+  timestamps : float array;  (** tap observation times, in order *)
+  overhead : float;  (** {!Padding.Gateway.overhead} *)
+  payload_offered : int;  (** payload packets generated at the source *)
+  payload_delivered : int;  (** payload packets absorbed by the receiver *)
+  mean_payload_latency : float;  (** creation-to-delivery mean, 0 if none *)
+  sim_time : float;  (** simulated clock at run end *)
+}
+
+val try_run :
+  fresh_arena:bool ->
+  scenario:string ->
+  seed:int ->
+  timer:Padding.Timer.law ->
+  jitter:Padding.Jitter.t ->
+  payload_rate_pps:float ->
+  packet_size:int ->
+  hops:Netsim.Topology.hop_spec array ->
+  tap_position:int ->
+  target:int ->
+  expected_rate:float ->
+  outcome option
+(** Run the fused pipeline until the tap has recorded [target]
+    observations, chunked by the same {!Starvation.drive} arithmetic the
+    event loop uses (slack 1.1, min chunk 0.1).  Returns [None] if a
+    cross-stream time tie makes exact event ordering unreproducible —
+    nothing has been published in that case and the caller must rerun
+    the configuration on the event loop (and count the ["tie"]
+    fallback).  Raises the same exceptions as the event-loop path:
+    setup [Invalid_argument]s, {!Exec.Supervise} event-budget trips
+    (after flushing incrementally-published state) and
+    [Starvation.Tap_starved]. *)

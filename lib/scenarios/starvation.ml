@@ -16,17 +16,22 @@ exception
 let stall_packets = 50.0
 let max_chunks = 1_000_000
 
-let run_until_tap_count ~scenario ?(slack = 1.1) ?(min_chunk = 0.1) sim ~tap
-    ~target ~expected_rate =
+(* One chunk-loop implementation serves both the event-loop drivers and
+   the fused kernels.  The chunk boundaries are data-dependent (each [dt]
+   depends on the current tap count), so sharing the arithmetic is what
+   guarantees both paths starve at the identical simulated time with the
+   identical exception payload. *)
+let drive ~scenario ?(slack = 1.1) ?(min_chunk = 0.1) ~now ~count ~advance
+    ~on_starve ~target ~expected_rate () =
   let starve observed =
-    Desim.Sim.publish_metrics sim;
+    on_starve ();
     raise
       (Tap_starved
          {
            scenario;
            target;
            observed;
-           sim_time = Desim.Sim.now sim;
+           sim_time = now ();
            metrics = Obs.Metrics.snapshot ();
          })
   in
@@ -34,28 +39,33 @@ let run_until_tap_count ~scenario ?(slack = 1.1) ?(min_chunk = 0.1) sim ~tap
     Float.max (stall_packets /. expected_rate *. slack) (4.0 *. min_chunk)
   in
   let rec go ~chunks ~last_count ~last_progress_t =
-    let count = Netsim.Tap.count tap in
-    let last_progress_t =
-      if count > last_count then Desim.Sim.now sim else last_progress_t
-    in
-    if count < target then
-      if
-        chunks >= max_chunks
-        || Desim.Sim.now sim -. last_progress_t >= stall_window
-      then starve count
+    let c = count () in
+    let last_progress_t = if c > last_count then now () else last_progress_t in
+    if c < target then
+      if chunks >= max_chunks || now () -. last_progress_t >= stall_window then
+        starve c
       else begin
-        let missing = target - count in
+        let missing = target - c in
         let dt =
           Float.max (float_of_int missing /. expected_rate *. slack) min_chunk
         in
         (* Cap the chunk so a stalled run reaches the window after a
            handful of chunks rather than overshooting it a thousandfold. *)
         let dt = Float.min dt (stall_window /. 4.0) in
-        Desim.Sim.run_until sim ~time:(Desim.Sim.now sim +. dt);
-        go ~chunks:(chunks + 1) ~last_count:count ~last_progress_t
+        advance (now () +. dt);
+        go ~chunks:(chunks + 1) ~last_count:c ~last_progress_t
       end
   in
-  go ~chunks:0 ~last_count:(-1) ~last_progress_t:(Desim.Sim.now sim)
+  go ~chunks:0 ~last_count:(-1) ~last_progress_t:(now ())
+
+let run_until_tap_count ~scenario ?slack ?min_chunk sim ~tap ~target
+    ~expected_rate =
+  drive ~scenario ?slack ?min_chunk
+    ~now:(fun () -> Desim.Sim.now sim)
+    ~count:(fun () -> Netsim.Tap.count tap)
+    ~advance:(fun time -> Desim.Sim.run_until sim ~time)
+    ~on_starve:(fun () -> Desim.Sim.publish_metrics sim)
+    ~target ~expected_rate ()
 
 let pp_starved ppf = function
   | Tap_starved { scenario; target; observed; sim_time; metrics } ->

@@ -19,6 +19,28 @@ exception
         (** registry snapshot taken at the point of giving up *)
   }
 
+val drive :
+  scenario:string ->
+  ?slack:float ->
+  ?min_chunk:float ->
+  now:(unit -> float) ->
+  count:(unit -> int) ->
+  advance:(float -> unit) ->
+  on_starve:(unit -> unit) ->
+  target:int ->
+  expected_rate:float ->
+  unit ->
+  unit
+(** The chunk loop behind {!run_until_tap_count}, abstracted over how
+    time is read ([now]), how progress is measured ([count]), and how the
+    simulation advances to a chunk boundary ([advance]).  The fused
+    scenario kernels drive their batch loops through this so the
+    data-dependent chunk boundaries — and therefore the starvation
+    decision and its simulated timestamp — are computed by the very same
+    arithmetic as the event-loop path.  [on_starve] runs (e.g. to flush
+    pending metric tallies) just before {!Tap_starved} is raised, so the
+    snapshot in the exception reflects the flushed state. *)
+
 val run_until_tap_count :
   scenario:string ->
   ?slack:float ->

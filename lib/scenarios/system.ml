@@ -77,12 +77,15 @@ let arm_event_budget sim =
   | Some max_events -> Desim.Sim.set_event_budget sim ~max_events
   | None -> ()
 
-let run ?(fresh_arena = false) cfg ~piats =
-  validate cfg;
-  if piats < 1 then invalid_arg "System.run: piats < 1";
-  Obs.Trace.with_run
-    (Printf.sprintf "system.run seed=%d pps=%g" cfg.seed cfg.payload_rate_pps)
-  @@ fun () ->
+let truncate_piats all_piats ~piats =
+  if Array.length all_piats > piats then Array.sub all_piats 0 piats
+  else all_piats
+
+(* The classic event-driven path: wire up source -> gateway -> chain ->
+   receiver as simulator records and dispatch events one at a time.
+   Always correct; the fused-kernel path below must match it bit for
+   bit.  Runs inside the caller's [Obs.Trace.with_run]. *)
+let run_event_loop ~fresh_arena cfg ~piats ~target ~expected_rate =
   let arena = Arena.get ~fresh:fresh_arena in
   let sim = arena.Arena.sim in
   arm_event_budget sim;
@@ -108,10 +111,6 @@ let run ?(fresh_arena = false) cfg ~piats =
       ~rate_pps:cfg.payload_rate_pps ~size_bytes:cfg.packet_size
       ~dest:(Padding.Gateway.input gateway)
   in
-  (* [piats] gaps need piats + 1 timestamps after the trim drops
-     warmup + 1 of them; chunked running may stop exactly on target. *)
-  let target = piats + cfg.warmup_piats + 2 in
-  let expected_rate = 1.0 /. Padding.Timer.mean cfg.timer in
   run_until_tap_count ~scenario:"system.run" sim ~tap:topo.Netsim.Topology.tap
     ~target ~expected_rate;
   Netsim.Traffic_gen.stop source;
@@ -119,13 +118,8 @@ let run ?(fresh_arena = false) cfg ~piats =
   Netsim.Topology.stop_cross topo;
   Desim.Sim.publish_metrics sim;
   let timestamps = trim_warmup cfg (Netsim.Tap.timestamps topo.Netsim.Topology.tap) in
-  let all_piats = piats_of_timestamps timestamps in
-  let piats_arr =
-    if Array.length all_piats > piats then Array.sub all_piats 0 piats
-    else all_piats
-  in
   {
-    piats = piats_arr;
+    piats = truncate_piats (piats_of_timestamps timestamps) ~piats;
     timestamps;
     overhead = Padding.Gateway.overhead gateway;
     payload_offered = Netsim.Traffic_gen.generated source;
@@ -134,6 +128,59 @@ let run ?(fresh_arena = false) cfg ~piats =
     mean_payload_latency = Padding.Receiver.mean_payload_latency receiver;
     sim_time = Desim.Sim.now sim;
   }
+
+(* Why a run is not kernel-eligible, or [None] when it is.  The fused
+   kernels model Poisson payload and Poisson/absent cross traffic only;
+   anything else (and a process-wide disable) takes the event loop. *)
+let kernel_reason cfg =
+  if not (Fastpath.enabled ()) then Some "disabled"
+  else if cfg.payload_model <> Poisson_payload then Some "cbr_payload"
+  else if not (Fastpath.eligible_hops cfg.hops) then Some "onoff_cross"
+  else None
+
+let run ?(fresh_arena = false) cfg ~piats =
+  validate cfg;
+  if piats < 1 then invalid_arg "System.run: piats < 1";
+  Obs.Trace.with_run
+    (Printf.sprintf "system.run seed=%d pps=%g" cfg.seed cfg.payload_rate_pps)
+  @@ fun () ->
+  (* [piats] gaps need piats + 1 timestamps after the trim drops
+     warmup + 1 of them; chunked running may stop exactly on target. *)
+  let target = piats + cfg.warmup_piats + 2 in
+  let expected_rate = 1.0 /. Padding.Timer.mean cfg.timer in
+  let event_loop () =
+    run_event_loop ~fresh_arena cfg ~piats ~target ~expected_rate
+  in
+  match kernel_reason cfg with
+  | Some reason ->
+      Fastpath.note_fallback ~reason;
+      event_loop ()
+  | None -> (
+      match
+        Fastpath.try_run ~fresh_arena ~scenario:"system.run" ~seed:cfg.seed
+          ~timer:cfg.timer ~jitter:cfg.jitter
+          ~payload_rate_pps:cfg.payload_rate_pps ~packet_size:cfg.packet_size
+          ~hops:cfg.hops ~tap_position:cfg.tap_position ~target ~expected_rate
+      with
+      | None ->
+          (* A cross-stream time tie the kernel cannot order; nothing was
+             published, so the event loop reruns the config cleanly. *)
+          Fastpath.note_fallback ~reason:"tie";
+          event_loop ()
+      | Some o ->
+          let timestamps = trim_warmup cfg o.Fastpath.timestamps in
+          {
+            piats = truncate_piats (piats_of_timestamps timestamps) ~piats;
+            timestamps;
+            overhead = o.Fastpath.overhead;
+            payload_offered = o.Fastpath.payload_offered;
+            payload_delivered = o.Fastpath.payload_delivered;
+            (* [run] never sets a gateway queue limit, so the event loop
+               cannot drop at the gateway either. *)
+            payload_dropped_gw = 0;
+            mean_payload_latency = o.Fastpath.mean_payload_latency;
+            sim_time = o.Fastpath.sim_time;
+          })
 
 (* Intra-run domain sharding: one logical PIAT collection split into
    [shards] independent simulations with index-derived seeds, fanned out

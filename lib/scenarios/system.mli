@@ -50,7 +50,16 @@ val run : ?fresh_arena:bool -> config -> piats:int -> result
     [piats >= 1].  By default the run recycles the calling domain's
     {!Arena} (simulator, tap vectors, gateway buffers) — observably
     identical to a fresh simulator but without re-growing storage on every
-    run of a sweep; [fresh_arena:true] forces brand-new state. *)
+    run of a sweep; [fresh_arena:true] forces brand-new state.
+
+    Eligible configurations (Poisson payload, cross traffic absent or
+    Poisson — the no-fault common case) execute on the fused
+    {!Fastpath} kernels instead of per-event dispatch.  The two paths
+    are bit-identical — same RNG draws, tap timestamps, trace stream and
+    metric totals — so which one ran is visible only through the
+    [desim.kernel.runs] / [desim.kernel.fallbacks{reason}] counters.
+    Set [TA_FORCE_EVENT_LOOP=1] or {!Fastpath.set_enabled}[ false] to
+    force the event loop. *)
 
 val run_sharded :
   ?fresh_arena:bool -> ?jobs:int -> ?shards:int -> config -> piats:int -> result

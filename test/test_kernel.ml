@@ -1,0 +1,379 @@
+(* Fused-kernel fast path: the differential contract.
+
+   [System.run]'s kernel path must be observably indistinguishable from
+   the event loop — same RNG draws in the same order, bit-identical
+   result fields, metric totals and ta-trace/1 bytes, at any worker
+   count, through checkpoint/resume.  These tests run every eligible
+   configuration shape both ways and compare everything; plus property
+   tests for the batched variate generator and the geometric boundary
+   the kernel work surfaced. *)
+
+module System = Scenarios.System
+module Fastpath = Scenarios.Fastpath
+
+let with_jobs jobs f =
+  Exec.Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Exec.Pool.set_default_jobs 1) f
+
+let with_kernel on f =
+  let was = Fastpath.enabled () in
+  Fastpath.set_enabled on;
+  Fun.protect ~finally:(fun () -> Fastpath.set_enabled was) f
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* --- Sampler.exponential_fill: bit-equality and validation --- *)
+
+let test_exponential_fill_bit_equality () =
+  List.iter
+    (fun (seed, rate) ->
+      let n = 100_000 in
+      let scalar_rng = Prng.Rng.create ~seed in
+      let fill_rng = Prng.Rng.create ~seed in
+      let buf = Float.Array.create n in
+      Prng.Sampler.exponential_fill fill_rng ~rate buf ~n;
+      for i = 0 to n - 1 do
+        let s = Prng.Sampler.exponential scalar_rng ~rate in
+        if
+          Int64.bits_of_float s
+          <> Int64.bits_of_float (Float.Array.get buf i)
+        then
+          Alcotest.failf "seed=%d rate=%g draw %d: scalar %h <> fill %h" seed
+            rate i s (Float.Array.get buf i)
+      done)
+    [ (1, 10.0); (7, 0.5); (42, 1e4); (12345, 1.0) ]
+
+let test_exponential_fill_partial () =
+  (* Filling a prefix must consume exactly n draws and leave the tail
+     untouched. *)
+  let rng_a = Prng.Rng.create ~seed:9 in
+  let rng_b = Prng.Rng.create ~seed:9 in
+  let buf = Float.Array.make 64 (-1.0) in
+  Prng.Sampler.exponential_fill rng_a ~rate:2.0 buf ~n:10;
+  for i = 10 to 63 do
+    Alcotest.(check (float 0.0))
+      "tail untouched" (-1.0)
+      (Float.Array.get buf i)
+  done;
+  Alcotest.(check (float 0.0))
+    "stream position = 10 scalar draws"
+    (let rec skip k = if k = 0 then () else (ignore (Prng.Sampler.exponential rng_b ~rate:2.0); skip (k - 1)) in
+     skip 10;
+     Prng.Sampler.exponential rng_b ~rate:2.0)
+    (Prng.Sampler.exponential rng_a ~rate:2.0)
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_exponential_fill_invalid () =
+  let rng = Prng.Rng.create ~seed:1 in
+  let buf = Float.Array.create 8 in
+  expect_invalid (fun () ->
+      Prng.Sampler.exponential_fill rng ~rate:0.0 buf ~n:8);
+  expect_invalid (fun () ->
+      Prng.Sampler.exponential_fill rng ~rate:(-1.0) buf ~n:8);
+  expect_invalid (fun () ->
+      Prng.Sampler.exponential_fill rng ~rate:Float.nan buf ~n:8);
+  expect_invalid (fun () ->
+      Prng.Sampler.exponential_fill rng ~rate:1.0 buf ~n:0);
+  expect_invalid (fun () ->
+      Prng.Sampler.exponential_fill rng ~rate:1.0 buf ~n:9);
+  expect_invalid (fun () ->
+      Prng.Sampler.exponential_fill rng ~rate:1.0 (Float.Array.create 0) ~n:0)
+
+(* --- geometric boundary: p = 1 and NaN (regression) --- *)
+
+let test_geometric_boundary () =
+  let rng = Prng.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int)
+      "p = 1 always succeeds immediately" 0
+      (Prng.Sampler.geometric rng ~p:1.0)
+  done;
+  (* p just below 1 still almost always returns 0 and never negative. *)
+  for _ = 1 to 1000 do
+    let k = Prng.Sampler.geometric rng ~p:0.999999 in
+    if k < 0 then Alcotest.failf "negative geometric draw %d" k
+  done;
+  expect_invalid (fun () -> Prng.Sampler.geometric rng ~p:Float.nan);
+  expect_invalid (fun () -> Prng.Sampler.geometric rng ~p:0.0);
+  expect_invalid (fun () -> Prng.Sampler.geometric rng ~p:1.0000001)
+
+(* --- the differential suite --- *)
+
+let hop ?(bw = 1_000_000.0) ?(prop = 0.0) ?qlimit ?cross () =
+  {
+    Netsim.Topology.bandwidth_bps = bw;
+    propagation = prop;
+    queue_limit = qlimit;
+    cross;
+  }
+
+let poisson_cross rate_pps =
+  { Netsim.Topology.rate_pps; size_bytes = 400; burst = `Poisson }
+
+let onoff_cross =
+  {
+    Netsim.Topology.rate_pps = 100.0;
+    size_bytes = 400;
+    burst = `On_off (0.1, 0.4, None);
+  }
+
+(* Every eligible configuration shape: CIT and all VIT laws, all jitter
+   models, no hops / loaded chain / mid-chain tap / propagation /
+   queue-limit drops. *)
+let eligible_configs =
+  let base = System.default_config in
+  [
+    ("cit_nohops", base);
+    ( "cit_fast_jitterless",
+      {
+        base with
+        timer = Padding.Timer.Constant 0.002;
+        jitter = Padding.Jitter.none;
+        payload_rate_pps = 300.0;
+      } );
+    ( "vit_normal",
+      {
+        base with
+        timer = Padding.Timer.Normal { mean = 0.010; sigma = 0.002 };
+        jitter = Padding.Jitter.parametric ~mu:5e-5 ~sigma:8e-6;
+      } );
+    ( "vit_uniform",
+      {
+        base with
+        timer = Padding.Timer.Uniform { mean = 0.010; half_width = 0.004 };
+      } );
+    ( "vit_exponential",
+      { base with timer = Padding.Timer.Exponential { mean = 0.012 } } );
+    ( "chain_loaded",
+      {
+        base with
+        hops =
+          [|
+            hop ();
+            hop ~prop:0.002 ~cross:(poisson_cross 150.0) ();
+            hop ~bw:400_000.0 ~qlimit:3 ~cross:(poisson_cross 200.0) ();
+          |];
+        tap_position = 3;
+      } );
+    ( "chain_midtap",
+      {
+        base with
+        hops = [| hop ~cross:(poisson_cross 120.0) (); hop (); hop () |];
+        tap_position = 1;
+      } );
+  ]
+
+let filtered_snapshot () =
+  (* The event-queue-depth gauge has a documented deterministic surrogate
+     on the kernel path, and the kernel.* counters record which path ran
+     — everything else must match exactly. *)
+  Obs.Metrics.snapshot ()
+  |> List.filter (fun (name, _) ->
+         name <> "desim.queue_hwm"
+         && not
+              (String.length name >= 12
+              && String.sub name 0 12 = "desim.kernel"))
+
+let snapshot_str () =
+  Format.asprintf "%a" Obs.Metrics.Snapshot.pp (filtered_snapshot ())
+
+let kernel_runs () =
+  Obs.Metrics.Snapshot.counter_value (Obs.Metrics.snapshot ())
+    "desim.kernel.runs"
+
+let fallbacks reason =
+  Obs.Metrics.Snapshot.counter_value (Obs.Metrics.snapshot ())
+    ("desim.kernel.fallbacks{reason=" ^ reason ^ "}")
+
+let run_both ?(piats = 400) cfg =
+  Obs.Metrics.reset ();
+  let rk = with_kernel true (fun () -> System.run ~fresh_arena:true cfg ~piats) in
+  let sk = snapshot_str () in
+  let kruns = kernel_runs () + fallbacks "tie" in
+  Obs.Metrics.reset ();
+  let re =
+    with_kernel false (fun () -> System.run ~fresh_arena:true cfg ~piats)
+  in
+  let se = snapshot_str () in
+  (rk, sk, kruns, re, se)
+
+let check_results_equal name (rk : System.result) (re : System.result) =
+  (* compare, not (=): mean latency can legitimately be computed from
+     zero samples in degenerate configs, and nan <> nan under (=). *)
+  if Stdlib.compare rk re <> 0 then
+    Alcotest.failf "%s: kernel and event-loop results differ" name
+
+let test_differential_results () =
+  List.iter
+    (fun (name, cfg) ->
+      let rk, sk, kruns, re, se = run_both cfg in
+      check_results_equal name rk re;
+      Alcotest.(check string) (name ^ ": metric totals") se sk;
+      (* Whether the kernel actually ran (vs tie-fallback) is config
+         dependent, but it must have either run or counted the tie. *)
+      Alcotest.(check int) (name ^ ": kernel attempted") 1 kruns)
+    eligible_configs
+
+let test_differential_trace () =
+  (* ta-trace/1 bytes must be identical: same events, same order, same
+     timestamps, for a config that exercises gateway + links + drops +
+     cross diversion. *)
+  let cfg = List.assoc "chain_loaded" eligible_configs in
+  let capture kernel =
+    let path = Filename.temp_file "kernel_trace" ".jsonl" in
+    Obs.Metrics.reset ();
+    Obs.Trace.enable ~path;
+    Fun.protect
+      ~finally:(fun () -> Obs.Trace.disable ())
+      (fun () ->
+        ignore
+          (with_kernel kernel (fun () ->
+               System.run ~fresh_arena:true cfg ~piats:400)
+            : System.result);
+        Obs.Trace.flush ());
+    let body = read_file path in
+    Sys.remove path;
+    body
+  in
+  let tk = capture true in
+  let te = capture false in
+  Alcotest.(check bool) "trace non-trivial" true (String.length tk > 10_000);
+  Alcotest.(check string) "identical trace bytes" te tk
+
+let test_differential_sharded_jobs () =
+  (* One logical collection split across 8 shards: byte-identical between
+     paths at jobs 1, 2 and 8 (shards mix kernel-eligible seeds with
+     tie-fallback seeds, so this also covers mixed execution). *)
+  let cfg = List.assoc "chain_loaded" eligible_configs in
+  let run kernel jobs =
+    Obs.Metrics.reset ();
+    with_kernel kernel (fun () ->
+        with_jobs jobs (fun () -> System.run_sharded ~shards:8 cfg ~piats:320))
+  in
+  let reference = run false 1 in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun kernel ->
+          let r = run kernel jobs in
+          if Stdlib.compare reference r <> 0 then
+            Alcotest.failf "kernel=%b jobs=%d differs from evloop jobs=1"
+              kernel jobs)
+        [ true; false ])
+    [ 1; 2; 8 ]
+
+let test_fallback_reasons () =
+  (* Ineligible shapes must take the event loop and say why. *)
+  Obs.Metrics.reset ();
+  let cbr = { System.default_config with payload_model = System.Cbr_payload } in
+  ignore (with_kernel true (fun () -> System.run cbr ~piats:50) : System.result);
+  Alcotest.(check int) "cbr fallback" 1 (fallbacks "cbr_payload");
+  Obs.Metrics.reset ();
+  let onoff =
+    {
+      System.default_config with
+      hops = [| hop ~cross:onoff_cross () |];
+      tap_position = 1;
+    }
+  in
+  ignore
+    (with_kernel true (fun () -> System.run onoff ~piats:50) : System.result);
+  Alcotest.(check int) "on/off fallback" 1 (fallbacks "onoff_cross");
+  Obs.Metrics.reset ();
+  ignore
+    (with_kernel false (fun () -> System.run System.default_config ~piats:50)
+      : System.result);
+  Alcotest.(check int) "disabled fallback" 1 (fallbacks "disabled");
+  Alcotest.(check int) "no kernel runs" 0 (kernel_runs ())
+
+let test_checkpoint_resume_mixed_paths () =
+  (* Kill-resume through Sweep.mapi: half the points journaled by a
+     kernel-path run, the rest computed after resume by an event-loop
+     process (and vice versa) must reproduce the uninterrupted tables. *)
+  let module Sweep = Scenarios.Sweep in
+  let points = [ 0; 1; 2; 3 ] in
+  let task ~attempt:_ i x =
+    let cfg =
+      {
+        (List.assoc "chain_loaded" eligible_configs) with
+        seed = 100 + (7 * x);
+      }
+    in
+    let r = System.run cfg ~piats:200 in
+    (i, r.System.piats, r.System.overhead, r.System.mean_payload_latency)
+  in
+  let with_temp_dir f =
+    let dir = Filename.temp_file "ta_kernel_ckpt" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () ->
+        if Sys.file_exists dir then begin
+          Array.iter
+            (fun name -> Sys.remove (Filename.concat dir name))
+            (Sys.readdir dir);
+          Sys.rmdir dir
+        end)
+      (fun () -> f dir)
+  in
+  let reset_sweep () =
+    Sweep.set_checkpoint_dir None;
+    Sweep.clear_failures ()
+  in
+  Fun.protect ~finally:reset_sweep @@ fun () ->
+  let uninterrupted =
+    reset_sweep ();
+    with_kernel true (fun () ->
+        Sweep.ok_values
+          (Sweep.mapi ~sweep:"kernel.ckpt" ~digest:"d" ~seed:1 ~task points))
+  in
+  List.iter
+    (fun (first_kernel, resume_kernel) ->
+      with_temp_dir (fun dir ->
+          reset_sweep ();
+          Sweep.set_checkpoint_dir (Some dir);
+          (* First process journals only the first two points ("killed"
+             after a partial run). *)
+          let _partial =
+            with_kernel first_kernel (fun () ->
+                Sweep.mapi ~sweep:"kernel.ckpt" ~digest:"d" ~seed:1 ~task
+                  [ 0; 1 ])
+          in
+          (* Second process resumes the full sweep on the other path:
+             journaled points replay, missing ones compute fresh. *)
+          let resumed =
+            with_kernel resume_kernel (fun () ->
+                Sweep.ok_values
+                  (Sweep.mapi ~sweep:"kernel.ckpt" ~digest:"d" ~seed:1 ~task
+                     points))
+          in
+          if Stdlib.compare uninterrupted resumed <> 0 then
+            Alcotest.failf
+              "resume (first=%b resume=%b) differs from uninterrupted run"
+              first_kernel resume_kernel))
+    [ (true, false); (false, true) ]
+
+let suite =
+  [
+    Alcotest.test_case "exponential_fill bit-equality" `Quick
+      test_exponential_fill_bit_equality;
+    Alcotest.test_case "exponential_fill partial fill" `Quick
+      test_exponential_fill_partial;
+    Alcotest.test_case "exponential_fill invalid args" `Quick
+      test_exponential_fill_invalid;
+    Alcotest.test_case "geometric p=1/NaN boundary" `Quick
+      test_geometric_boundary;
+    Alcotest.test_case "differential: results + metrics" `Quick
+      test_differential_results;
+    Alcotest.test_case "differential: trace bytes" `Quick
+      test_differential_trace;
+    Alcotest.test_case "differential: sharded at jobs 1/2/8" `Quick
+      test_differential_sharded_jobs;
+    Alcotest.test_case "fallback reasons counted" `Quick test_fallback_reasons;
+    Alcotest.test_case "checkpoint resume across paths" `Quick
+      test_checkpoint_resume_mixed_paths;
+  ]

@@ -17,6 +17,7 @@ let () =
       ("netsim", Test_netsim.suite);
       ("netsim.shaper", Test_shaper.suite);
       ("padding", Test_padding.suite);
+      ("padding.kernel", Test_kernel.suite);
       ("adversary", Test_adversary.suite);
       ("analytical", Test_analytical.suite);
       ("extensions", Test_extensions.suite);
